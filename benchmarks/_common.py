@@ -1,0 +1,50 @@
+"""Shared configuration and helpers for the benchmark suite.
+
+Every benchmark regenerates one experiment from DESIGN.md's per-claim
+index (E1-E9), prints the measured table next to the paper's predicted
+shape, and asserts the *shape* (who wins, growth exponents, crossovers) —
+never absolute constants, which are substrate-specific.
+
+Set ``REPRO_BENCH_FULL=1`` for the larger, slower sweeps recorded in
+EXPERIMENTS.md; the default grid keeps ``pytest benchmarks/
+--benchmark-only`` under a few minutes.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.analysis.stats import summarize
+from repro.harness.sweep import sweep
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
+
+#: Repetitions per sweep cell.
+REPEATS = 5 if FULL else 3
+
+
+def grid(default, full):
+    """Pick the parameter grid for the current mode."""
+    return full if FULL else default
+
+
+def mean_of(cells, extract):
+    """Per-cell means of one metric, as ``{param: mean}``."""
+    return {
+        cell.param: summarize(extract(run) for run in cell.runs).mean
+        for cell in cells
+    }
+
+
+def run_sweep(values, fn, repeats=None, seed_base=0):
+    """Thin wrapper fixing the repeat count to the suite default."""
+    return sweep(values, fn, repeats=repeats or REPEATS, seed_base=seed_base)
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The sweeps are deterministic and already repeat internally per seed,
+    so a single timed round per experiment is the honest measurement.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

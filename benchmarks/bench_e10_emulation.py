@@ -1,0 +1,99 @@
+"""E10 — Related Work's emulation claim, quantified.
+
+"[O]ne option is to emulate efficient shared-memory solutions via
+simulations between shared-memory and message-passing [ABND95].  This
+preserves time complexity, but communication may be increased..."
+
+We run the tournament baseline twice: natively over ``communicate`` and
+as a shared-memory algorithm over emulated ABD registers, under the same
+adversary and seeds.  The time *shape* (log n growth) must be preserved
+by the emulation, while messages and calls pay a constant-factor
+emulation tax (each register op is two quorum rounds).
+"""
+
+from __future__ import annotations
+
+from _common import grid, mean_of, once, run_sweep
+
+from repro.analysis.fitting import fit_log
+from repro.harness import Table
+from repro.memory import make_register_tournament
+from repro.sim import Simulation
+from repro.adversary import RandomAdversary
+from repro.core import Outcome
+from repro.core.baselines import make_tournament
+
+NS = grid([4, 8, 16, 32], [4, 8, 16, 32, 64])
+
+
+def _run(n, seed, factory_maker):
+    sim = Simulation(
+        n,
+        {pid: factory_maker() for pid in range(n)},
+        RandomAdversary(seed=seed),
+        seed=seed,
+    )
+    result = sim.run()
+    winners = [pid for pid, o in result.outcomes.items() if o is Outcome.WIN]
+    assert len(winners) == 1
+    return result
+
+
+def build_e10():
+    native_cells = run_sweep(
+        NS, lambda n, seed: _run(n, seed, make_tournament), seed_base=100
+    )
+    emulated_cells = run_sweep(
+        NS, lambda n, seed: _run(n, seed, make_register_tournament), seed_base=100
+    )
+    return native_cells, emulated_cells
+
+
+def report_e10(native_cells, emulated_cells):
+    native_calls = mean_of(native_cells, lambda r: r.metrics.max_comm_calls)
+    emulated_calls = mean_of(emulated_cells, lambda r: r.metrics.max_comm_calls)
+    native_messages = mean_of(native_cells, lambda r: r.metrics.messages_total)
+    emulated_messages = mean_of(emulated_cells, lambda r: r.metrics.messages_total)
+    table = Table(
+        "E10: tournament natively vs over emulated ABD registers",
+        [
+            "n",
+            "calls(native)",
+            "calls(emulated)",
+            "time tax",
+            "messages(native)",
+            "messages(emulated)",
+            "message tax",
+        ],
+    )
+    for n in NS:
+        table.add_row(
+            n,
+            native_calls[n],
+            emulated_calls[n],
+            emulated_calls[n] / native_calls[n],
+            native_messages[n],
+            emulated_messages[n],
+            emulated_messages[n] / native_messages[n],
+        )
+    native_fit = fit_log(NS, [native_calls[n] for n in NS])
+    emulated_fit = fit_log(NS, [emulated_calls[n] for n in NS])
+    table.add_note(
+        f"time log-slopes: native {native_fit.slope:.2f}, emulated "
+        f"{emulated_fit.slope:.2f} (emulation preserves the Theta(log n) shape)"
+    )
+    table.show()
+    return native_calls, emulated_calls, native_fit, emulated_fit
+
+
+def test_e10_emulation(benchmark):
+    native_cells, emulated_cells = once(benchmark, build_e10)
+    native_calls, emulated_calls, native_fit, emulated_fit = report_e10(
+        native_cells, emulated_cells
+    )
+    # Time complexity preserved: both grow logarithmically.
+    assert native_fit.slope > 0
+    assert emulated_fit.slope > 0
+    # The emulation tax stays a bounded constant factor across the sweep.
+    taxes = [emulated_calls[n] / native_calls[n] for n in NS]
+    assert all(0.3 <= tax <= 10 for tax in taxes)

@@ -1,0 +1,90 @@
+"""E11 — extension (Section 6 future work): task allocation work bounds.
+
+The do-all extension applies the renaming loop's contention bookkeeping
+to task allocation.  Series: total work (task executions summed over
+workers) as n = k grows, for the coordinated random-selection algorithm
+vs the no-coordination replication strawman (work exactly k*n), under
+fair and fragmented schedules.
+
+Shape: coordinated work stays within a small multiple of n (near-perfect
+splitting), i.e. its power-law exponent in n stays near 1 while the
+strawman's is exactly 2.
+"""
+
+from __future__ import annotations
+
+from _common import grid, mean_of, once, run_sweep
+
+from repro.analysis.fitting import fit_power
+from repro.core.extensions import make_do_all, make_replicated_do_all
+from repro.harness import Table
+from repro.sim import Simulation
+from repro.adversary import QuorumSplitAdversary, RandomAdversary
+
+NS = grid([4, 8, 16, 32], [4, 8, 16, 32, 64])
+
+
+def _total_work(n, seed, factory_maker, adversary):
+    sim = Simulation(
+        n,
+        {pid: factory_maker() for pid in range(n)},
+        adversary,
+        seed=seed,
+    )
+    result = sim.run()
+    return sum(len(executed) for executed in result.outcomes.values())
+
+
+def build_e11():
+    coordinated = run_sweep(
+        NS,
+        lambda n, seed: _total_work(n, seed, make_do_all, RandomAdversary(seed=seed)),
+        seed_base=110,
+    )
+    fragmented = run_sweep(
+        NS,
+        lambda n, seed: _total_work(n, seed, make_do_all, QuorumSplitAdversary()),
+        seed_base=111,
+    )
+    replicated = run_sweep(
+        NS,
+        lambda n, seed: _total_work(
+            n, seed, make_replicated_do_all, RandomAdversary(seed=seed)
+        ),
+        seed_base=112,
+    )
+    return coordinated, fragmented, replicated
+
+
+def report_e11(coordinated, fragmented, replicated):
+    coord = mean_of(coordinated, lambda work: work)
+    frag = mean_of(fragmented, lambda work: work)
+    repl = mean_of(replicated, lambda work: work)
+    table = Table(
+        "E11: do-all total work (n tasks, k = n workers)",
+        ["n", "coordinated(random)", "coordinated(fragmented)", "replicated", "n (ideal)"],
+    )
+    for n in NS:
+        table.add_row(n, coord[n], frag[n], repl[n], n)
+    coord_fit = fit_power(NS, [coord[n] for n in NS])
+    repl_fit = fit_power(NS, [repl[n] for n in NS])
+    table.add_note(
+        f"work exponents: coordinated {coord_fit.slope:.2f} (~1), "
+        f"replicated {repl_fit.slope:.2f} (=2)"
+    )
+    table.show()
+    return coord, frag, repl, coord_fit, repl_fit
+
+
+def test_e11_task_allocation(benchmark):
+    coordinated, fragmented, replicated = once(benchmark, build_e11)
+    coord, frag, repl, coord_fit, repl_fit = report_e11(
+        coordinated, fragmented, replicated
+    )
+    for n in NS:
+        assert repl[n] == n * n  # the strawman is exact
+        assert coord[n] < repl[n]
+        assert coord[n] >= n  # cannot do less than every task once
+        assert coord[n] <= 5 * n  # near-linear work
+    assert repl_fit.slope == 2.0
+    assert coord_fit.slope <= 1.5

@@ -1,0 +1,107 @@
+"""E1 — Theorem A.5 headline: O(log* k) time vs the Theta(log n) tournament.
+
+Series: expected max communicate calls per processor (the paper's time
+metric, Claim 2.1) and sifting rounds, as n grows, for the paper's
+algorithm and the [AGTV92] tournament baseline, under fair-random and
+worst-case-style adversaries.
+
+Shape checks:
+* the tournament's time grows with the bracket depth (log n slope);
+* the paper's algorithm grows far slower — its log-slope is a fraction
+  of the tournament's, and the log* model fits it at least as well.
+"""
+
+from __future__ import annotations
+
+from _common import grid, mean_of, once, run_sweep
+
+from repro.analysis.fitting import fit_log, fit_logstar
+from repro.analysis.theory import expected_rounds, log_star, tournament_levels
+from repro.harness import Table, run_leader_election
+
+NS = grid([2, 4, 8, 16, 32, 64], [2, 4, 8, 16, 32, 64, 128, 256])
+
+
+def build_e1():
+    pp_cells = run_sweep(
+        NS,
+        lambda n, seed: run_leader_election(
+            n=n, algorithm="poison_pill", adversary="random", seed=seed
+        ),
+        seed_base=10,
+    )
+    tn_cells = run_sweep(
+        NS,
+        lambda n, seed: run_leader_election(
+            n=n, algorithm="tournament", adversary="random", seed=seed
+        ),
+        seed_base=11,
+    )
+    pp_seq_cells = run_sweep(
+        NS,
+        lambda n, seed: run_leader_election(
+            n=n, algorithm="poison_pill", adversary="sequential", seed=seed
+        ),
+        seed_base=12,
+    )
+    return pp_cells, tn_cells, pp_seq_cells
+
+
+def report_e1(pp_cells, tn_cells, pp_seq_cells):
+    pp_calls = mean_of(pp_cells, lambda run: run.max_comm_calls)
+    tn_calls = mean_of(tn_cells, lambda run: run.max_comm_calls)
+    seq_calls = mean_of(pp_seq_cells, lambda run: run.max_comm_calls)
+    pp_rounds = mean_of(pp_cells, lambda run: run.rounds)
+
+    table = Table(
+        "E1: leader election time (max communicate calls per processor)",
+        [
+            "n",
+            "PoisonPill(random)",
+            "PoisonPill(sequential)",
+            "rounds",
+            "log*(n)",
+            "Tournament(random)",
+            "levels=log2(n)",
+        ],
+    )
+    for n in NS:
+        table.add_row(
+            n,
+            pp_calls[n],
+            seq_calls[n],
+            pp_rounds[n],
+            log_star(n),
+            tn_calls[n],
+            tournament_levels(n),
+        )
+    xs = [n for n in NS if n >= 4]
+    pp_log = fit_log(xs, [pp_calls[n] for n in xs])
+    pp_star = fit_logstar(xs, [pp_calls[n] for n in xs])
+    tn_log = fit_log(xs, [tn_calls[n] for n in xs])
+    table.add_note(
+        f"log2-slope: PoisonPill {pp_log.slope:.2f} vs tournament "
+        f"{tn_log.slope:.2f} (paper: O(log* n) vs Theta(log n))"
+    )
+    table.add_note(
+        f"PoisonPill log* fit rmse {pp_star.rmse:.2f} vs log fit rmse "
+        f"{pp_log.rmse:.2f}"
+    )
+    table.add_note(
+        f"theory rounds-to-constant at n={NS[-1]}: {expected_rounds(NS[-1])}"
+    )
+    table.show()
+    return pp_log, pp_star, tn_log, pp_calls, tn_calls
+
+
+def test_e1_leader_time(benchmark):
+    pp_cells, tn_cells, pp_seq_cells = once(benchmark, build_e1)
+    pp_log, pp_star, tn_log, pp_calls, tn_calls = report_e1(
+        pp_cells, tn_cells, pp_seq_cells
+    )
+    # The tournament pays per bracket level: a clear positive log slope.
+    assert tn_log.slope > 2.0
+    # The paper's algorithm grows much slower in log n.
+    assert pp_log.slope < 0.6 * tn_log.slope
+    # At the largest n the paper's algorithm is faster outright.
+    assert pp_calls[NS[-1]] < tn_calls[NS[-1]]

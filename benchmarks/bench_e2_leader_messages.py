@@ -1,0 +1,48 @@
+"""E2 — Theorem A.5: O(kn) message complexity of leader election.
+
+With full participation (k = n) the total message count should grow like
+n^2; the power-law fit over the sweep must land near exponent 2, and the
+normalized ratio messages / n^2 should stay within a small constant band.
+"""
+
+from __future__ import annotations
+
+from _common import grid, mean_of, once, run_sweep
+
+from repro.analysis.fitting import fit_power
+from repro.harness import Table, run_leader_election
+
+NS = grid([4, 8, 16, 32, 64], [4, 8, 16, 32, 64, 128, 256])
+
+
+def build_e2():
+    return run_sweep(
+        NS,
+        lambda n, seed: run_leader_election(n=n, adversary="random", seed=seed),
+        seed_base=20,
+    )
+
+
+def report_e2(cells):
+    messages = mean_of(cells, lambda run: run.messages_total)
+    requests = mean_of(cells, lambda run: run.result.metrics.request_messages)
+    table = Table(
+        "E2: leader election message complexity (k = n)",
+        ["n", "messages(total)", "messages/n^2", "requests(no acks)"],
+    )
+    for n in NS:
+        table.add_row(n, messages[n], messages[n] / (n * n), requests[n])
+    fit = fit_power(NS, [messages[n] for n in NS])
+    table.add_note(f"power-law exponent {fit.slope:.2f} (paper: O(n^2) => 2)")
+    table.show()
+    return fit, messages
+
+
+def test_e2_leader_messages(benchmark):
+    cells = once(benchmark, build_e2)
+    fit, messages = report_e2(cells)
+    # Quadratic growth, allowing small-n curvature.
+    assert 1.5 <= fit.slope <= 2.5
+    # The normalized constant stays bounded across the sweep.
+    ratios = [messages[n] / (n * n) for n in NS if n >= 8]
+    assert max(ratios) / min(ratios) < 4.0

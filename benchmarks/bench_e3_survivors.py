@@ -1,0 +1,75 @@
+"""E3 — Claims 3.2 / Lemmas 3.6-3.7: survivors of one sifting phase.
+
+Plain PoisonPill under the sequential attack keeps Theta(sqrt(n))
+processors alive (Section 3.2's matching lower bound for the technique);
+Heterogeneous PoisonPill stays within its O(log^2 n) bound.  Note the
+paper's separation is asymptotic: at simulator-scale n the two curves are
+close (they cross only around n ~ 2^16), so the check here is each
+algorithm against *its own* theory curve, plus the sqrt growth exponent
+for plain PoisonPill.
+"""
+
+from __future__ import annotations
+
+import math
+
+from _common import grid, mean_of, once, run_sweep
+
+from repro.analysis.fitting import fit_power
+from repro.analysis.theory import hpp_survivors, poison_pill_survivors
+from repro.harness import Table, run_sifting_phase
+
+NS = grid([8, 16, 32, 64, 128], [8, 16, 32, 64, 128, 256, 512])
+
+
+def build_e3():
+    pp_cells = run_sweep(
+        NS,
+        lambda n, seed: run_sifting_phase(
+            n=n, kind="poison_pill", adversary="sequential", seed=seed
+        ),
+        seed_base=30,
+    )
+    hpp_cells = run_sweep(
+        NS,
+        lambda n, seed: run_sifting_phase(
+            n=n, kind="heterogeneous", adversary="sequential", seed=seed
+        ),
+        seed_base=31,
+    )
+    return pp_cells, hpp_cells
+
+
+def report_e3(pp_cells, hpp_cells):
+    pp = mean_of(pp_cells, lambda run: run.survivors)
+    hpp = mean_of(hpp_cells, lambda run: run.survivors)
+    table = Table(
+        "E3: survivors of one phase under the sequential adversary",
+        ["n", "PoisonPill", "2*sqrt(n) bound", "Heterogeneous", "log^2-ish bound"],
+    )
+    for n in NS:
+        table.add_row(
+            n, pp[n], poison_pill_survivors(n), hpp[n], hpp_survivors(n)
+        )
+    pp_fit = fit_power(NS, [pp[n] for n in NS])
+    hpp_fit = fit_power(NS, [hpp[n] for n in NS])
+    table.add_note(
+        f"growth exponents: PoisonPill {pp_fit.slope:.2f} (theory 0.5), "
+        f"Heterogeneous {hpp_fit.slope:.2f} (theory -> 0 polylog)"
+    )
+    table.show()
+    return pp, hpp, pp_fit, hpp_fit
+
+
+def test_e3_survivors(benchmark):
+    pp_cells, hpp_cells = once(benchmark, build_e3)
+    pp, hpp, pp_fit, hpp_fit = report_e3(pp_cells, hpp_cells)
+    for n in NS:
+        assert pp[n] <= 1.6 * poison_pill_survivors(n)
+        assert hpp[n] <= 1.6 * hpp_survivors(n)
+        # The sequential attack really does force sqrt-many PP survivors.
+        assert pp[n] >= 0.4 * math.sqrt(n)
+    # sqrt-shaped growth for plain PoisonPill.
+    assert 0.3 <= pp_fit.slope <= 0.7
+    # Heterogeneous grows strictly slower than PoisonPill's sqrt curve.
+    assert hpp_fit.slope < pp_fit.slope + 0.15

@@ -1,0 +1,90 @@
+"""E5 — Theorems 4.2 and A.13: renaming in O(log^2 n) time, O(n^2) messages.
+
+The paper's balls-into-bins renaming (Figure 3) against the
+no-shared-state baseline that tries names in private random order
+([AAG+10]-style, Omega(n) trials for a late processor).  Series: max
+trials by any processor, max communicate calls (time), total messages.
+"""
+
+from __future__ import annotations
+
+from _common import grid, mean_of, once, run_sweep
+
+from repro.analysis.fitting import fit_power
+from repro.analysis.theory import renaming_time_bound
+from repro.harness import Table, run_renaming
+
+NS = grid([4, 8, 16, 24], [4, 8, 16, 32, 48, 64])
+
+
+def build_e5():
+    paper_cells = run_sweep(
+        NS,
+        lambda n, seed: run_renaming(
+            n=n, algorithm="paper", adversary="random", seed=seed
+        ),
+        seed_base=50,
+    )
+    linear_cells = run_sweep(
+        NS,
+        lambda n, seed: run_renaming(
+            n=n, algorithm="linear", adversary="random", seed=seed
+        ),
+        seed_base=51,
+    )
+    return paper_cells, linear_cells
+
+
+def report_e5(paper_cells, linear_cells):
+    paper_trials = mean_of(paper_cells, lambda run: run.max_trials)
+    paper_calls = mean_of(paper_cells, lambda run: run.max_comm_calls)
+    paper_messages = mean_of(paper_cells, lambda run: run.messages_total)
+    linear_trials = mean_of(linear_cells, lambda run: run.max_trials)
+    linear_calls = mean_of(linear_cells, lambda run: run.max_comm_calls)
+    table = Table(
+        "E5: strong renaming, paper's algorithm vs blind-trials baseline",
+        [
+            "n",
+            "trials(paper)",
+            "trials(blind)",
+            "calls(paper)",
+            "calls(blind)",
+            "log^2(n)",
+            "messages(paper)",
+            "msgs/n^2",
+        ],
+    )
+    for n in NS:
+        table.add_row(
+            n,
+            paper_trials[n],
+            linear_trials[n],
+            paper_calls[n],
+            linear_calls[n],
+            renaming_time_bound(n),
+            paper_messages[n],
+            paper_messages[n] / (n * n),
+        )
+    message_fit = fit_power(NS, [paper_messages[n] for n in NS])
+    table.add_note(
+        f"message growth exponent {message_fit.slope:.2f} (paper: O(n^2))"
+    )
+    table.add_note("paper: O(log^2 n) time; baseline trials grow linearly-ish")
+    table.show()
+    return paper_trials, linear_trials, paper_calls, linear_calls, message_fit
+
+
+def test_e5_renaming(benchmark):
+    paper_cells, linear_cells = once(benchmark, build_e5)
+    paper_trials, linear_trials, paper_calls, linear_calls, message_fit = report_e5(
+        paper_cells, linear_cells
+    )
+    largest = NS[-1]
+    # Shared contention info buys strictly fewer wasted trials at scale.
+    assert paper_trials[largest] <= linear_trials[largest]
+    # And fewer communicate calls overall.
+    assert paper_calls[largest] <= linear_calls[largest]
+    # Message complexity ~ n^2 with small-n curvature tolerance.
+    assert 1.4 <= message_fit.slope <= 2.8
+    # Trials stay far below n for the paper's algorithm.
+    assert paper_trials[largest] <= largest / 2

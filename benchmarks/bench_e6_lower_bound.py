@@ -1,0 +1,63 @@
+"""E6 — Corollary B.3: the Omega(alpha k n) message lower bound, realized.
+
+The bubble adversary of Theorem B.2 buffers all traffic of a quarter of
+the participants until n/4 messages pile up per member, forcing the
+protocol to pay the lower-bound floor of k*n/16 messages.  The bench
+measures realized message counts under this strategy (and under the fair
+scheduler, for reference) against the analytic floor.
+"""
+
+from __future__ import annotations
+
+from _common import grid, mean_of, once, run_sweep
+
+from repro.adversary import BubbleAdversary
+from repro.analysis.theory import message_lower_bound
+from repro.harness import Table, run_leader_election
+
+NS = grid([8, 16, 32, 64], [8, 16, 32, 64, 128])
+
+
+def build_e6():
+    bubble_cells = run_sweep(
+        NS,
+        lambda n, seed: run_leader_election(
+            n=n, adversary=BubbleAdversary(), seed=seed
+        ),
+        seed_base=60,
+    )
+    fair_cells = run_sweep(
+        NS,
+        lambda n, seed: run_leader_election(n=n, adversary="random", seed=seed),
+        seed_base=61,
+    )
+    return bubble_cells, fair_cells
+
+
+def report_e6(bubble_cells, fair_cells):
+    bubble = mean_of(bubble_cells, lambda run: run.messages_total)
+    fair = mean_of(fair_cells, lambda run: run.messages_total)
+    table = Table(
+        "E6: message lower bound (bubble adversary of Theorem B.2)",
+        ["n=k", "floor kn/16", "messages(bubble)", "messages(random)", "bubble/floor"],
+    )
+    for n in NS:
+        floor = message_lower_bound(n, n)
+        table.add_row(n, floor, bubble[n], fair[n], bubble[n] / floor)
+    table.add_note(
+        "paper: every leader-election algorithm pays >= alpha*k*n/16 messages"
+    )
+    table.show()
+    return bubble, fair
+
+
+def test_e6_lower_bound(benchmark):
+    bubble_cells, fair_cells = once(benchmark, build_e6)
+    bubble, fair = report_e6(bubble_cells, fair_cells)
+    for n in NS:
+        floor = message_lower_bound(n, n)
+        # The realized executions respect the analytic floor...
+        assert bubble[n] >= floor
+        assert fair[n] >= floor
+        # ...and stay within the O(kn) upper bound's constant regime.
+        assert bubble[n] <= 200 * n * n

@@ -1,0 +1,54 @@
+"""E8 — Section 3.2's ablation: the 1/sqrt(n) coin bias is optimal.
+
+PoisonPill with bias n^-e under the sequential attack: survivors come
+from two pools — 1-flippers (~n^(1-e) of them) and the 0-flippers that
+run before the first 1 (~n^e of them).  e = 1/2 balances the pools; any
+other exponent loses on one side, which is exactly why the paper needs
+the heterogeneous variant to go below sqrt(n).
+"""
+
+from __future__ import annotations
+
+from _common import grid, mean_of, once, run_sweep
+
+from repro.harness import Table, run_sifting_phase
+
+N = 64 if not __import__("os").environ.get("REPRO_BENCH_FULL") else 256
+EXPONENTS = grid([0.25, 0.5, 0.75, 1.0], [0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 1.0])
+REPEATS_E8 = 8
+
+
+def build_e8():
+    return run_sweep(
+        EXPONENTS,
+        lambda e, seed: run_sifting_phase(
+            n=N, kind="poison_pill", adversary="sequential", seed=seed, bias=N**-e
+        ),
+        repeats=REPEATS_E8,
+        seed_base=80,
+    )
+
+
+def report_e8(cells):
+    survivors = mean_of(cells, lambda run: run.survivors)
+    table = Table(
+        f"E8: PoisonPill bias ablation at n = {N} (sequential adversary)",
+        ["bias exponent e (p = n^-e)", "survivors", "theory n^(1-e) + n^e"],
+    )
+    for e in EXPONENTS:
+        table.add_row(e, survivors[e], N ** (1 - e) + N**e)
+    table.add_note("paper Sec 3.2: e = 1/2 is the balance point; all e give Omega(sqrt n)")
+    table.show()
+    return survivors
+
+
+def test_e8_bias_ablation(benchmark):
+    cells = once(benchmark, build_e8)
+    survivors = report_e8(cells)
+    balanced = survivors[0.5]
+    # The balanced bias is no worse than any other exponent (small slack
+    # for sampling noise).
+    for e in EXPONENTS:
+        assert balanced <= survivors[e] * 1.25
+    # Extreme exponents are clearly worse: the lopsided pools dominate.
+    assert survivors[1.0] > 1.8 * balanced

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Quickstart: elect a leader and assign names in a simulated async system.
+
+Runs the paper's two algorithms end to end with default settings and
+prints the headline numbers — who won, how many communicate calls the
+slowest processor needed (the paper's time metric), and how many messages
+flowed in total.
+
+Usage::
+
+    python examples/quickstart.py [n] [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import run_leader_election, run_renaming
+from repro.analysis import log_star
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 24
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 7
+
+    print(f"== Leader election among n = {n} processors (seed {seed}) ==")
+    election = run_leader_election(n=n, adversary="random", seed=seed)
+    print(f"winner:                processor {election.winner}")
+    print(f"sifting rounds:        {election.rounds}  (log* n = {log_star(n)})")
+    print(f"max communicate calls: {election.max_comm_calls}")
+    print(f"total messages:        {election.messages_total:,}")
+
+    print()
+    print(f"== Tournament baseline on the same system ==")
+    tournament = run_leader_election(
+        n=n, algorithm="tournament", adversary="random", seed=seed
+    )
+    print(f"winner:                processor {tournament.winner}")
+    print(f"max communicate calls: {tournament.max_comm_calls}  "
+          f"(bracket depth ~ log2 n)")
+    print(f"total messages:        {tournament.messages_total:,}")
+
+    print()
+    print(f"== Strong renaming: assign names 0..{n - 1} ==")
+    renaming = run_renaming(n=n, adversary="random", seed=seed)
+    assignment = dict(sorted(renaming.names.items()))
+    print(f"names:                 {assignment}")
+    print(f"max trials by anyone:  {renaming.max_trials}")
+    print(f"max communicate calls: {renaming.max_comm_calls}")
+    print(f"total messages:        {renaming.messages_total:,}")
+
+    print()
+    print("All executions were validated: unique winner, linearizable order,")
+    print("and distinct names — the checkers raise on any violation.")
+
+
+if __name__ == "__main__":
+    main()

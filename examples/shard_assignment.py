@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Domain scenario: workers claiming shard slots via strong renaming.
+
+n stateless workers boot concurrently and must each claim a distinct
+shard slot 0..n-1 — no coordinator, no sequencer, crashes allowed, and
+the network schedule is adversarial.  This is exactly the paper's strong
+renaming problem (Figure 3): every worker repeatedly picks a random slot
+it believes free and wins it through a per-slot leader election.
+
+The demo also runs the no-shared-state baseline (each worker privately
+shuffles the slots and tries them one by one) to show the cost of not
+propagating contention information.
+
+Usage::
+
+    python examples/shard_assignment.py [n]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import run_renaming
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+
+    print(f"Assigning {n} shard slots to {n} workers, adversarial scheduling")
+    print()
+    paper = run_renaming(n=n, algorithm="paper", adversary="quorum_split", seed=3)
+    print("paper's algorithm (shared contention views):")
+    for pid, slot in sorted(paper.names.items()):
+        print(f"  worker {pid:2d} -> shard {slot}")
+    print(f"  max trials by any worker:  {paper.max_trials}")
+    print(f"  max communicate calls:     {paper.max_comm_calls}")
+    print(f"  total messages:            {paper.messages_total:,}")
+
+    print()
+    blind = run_renaming(n=n, algorithm="linear", adversary="quorum_split", seed=3)
+    print("blind-trials baseline (no contention sharing):")
+    print(f"  max trials by any worker:  {blind.max_trials}")
+    print(f"  max communicate calls:     {blind.max_comm_calls}")
+    print(f"  total messages:            {blind.messages_total:,}")
+
+    print()
+    ratio = blind.max_comm_calls / max(1, paper.max_comm_calls)
+    print(f"Sharing contention info cut the slowest worker's communicate calls "
+          f"by {ratio:.1f}x here;")
+    print("the paper proves O(log^2 n) vs Omega(n) for the two strategies.")
+
+
+if __name__ == "__main__":
+    main()

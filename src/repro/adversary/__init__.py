@@ -1,0 +1,44 @@
+"""Adversarial schedulers for the asynchronous message-passing simulator.
+
+The strong adaptive adversary of the paper controls every delivery and
+computation step and may examine all local state, including coin flips.
+Each class here is one concrete strategy; ``ADVERSARY_FACTORIES`` maps
+short names to zero-config constructors for use in benchmark sweeps.
+"""
+
+from .base import Adversary, fallback_action
+from .bubble import BubbleAdversary
+from .coin_aware import CoinAwareAdversary
+from .crash import CrashingAdversary, RandomCrashAdversary
+from .fifo import EagerAdversary, RoundRobinAdversary
+from .oblivious import ObliviousAdversary
+from .quorum_split import QuorumSplitAdversary
+from .random_adversary import RandomAdversary
+from .sequential import SequentialAdversary
+
+ADVERSARY_FACTORIES = {
+    "random": lambda seed=0: RandomAdversary(seed=seed),
+    "eager": lambda seed=0: EagerAdversary(),
+    "round_robin": lambda seed=0: RoundRobinAdversary(),
+    "oblivious": lambda seed=0: ObliviousAdversary(seed=seed),
+    "sequential": lambda seed=0: SequentialAdversary(),
+    "coin_aware": lambda seed=0: CoinAwareAdversary(),
+    "quorum_split": lambda seed=0: QuorumSplitAdversary(),
+    "bubble": lambda seed=0: BubbleAdversary(),
+}
+
+__all__ = [
+    "ADVERSARY_FACTORIES",
+    "Adversary",
+    "BubbleAdversary",
+    "CoinAwareAdversary",
+    "CrashingAdversary",
+    "EagerAdversary",
+    "ObliviousAdversary",
+    "QuorumSplitAdversary",
+    "RandomAdversary",
+    "RandomCrashAdversary",
+    "RoundRobinAdversary",
+    "SequentialAdversary",
+    "fallback_action",
+]

@@ -1,0 +1,57 @@
+"""Adversary interface: the scheduler of the asynchronous system.
+
+An adversary is asked, one action at a time, what happens next: deliver
+some in-flight message, schedule a computation step of some processor, or
+crash a processor (within the ``t <= ceil(n/2) - 1`` budget).  It may read
+the entire simulation state — register views, outstanding calls, and every
+coin a processor has flipped — which makes it the *strong adaptive*
+adversary of the paper.  Oblivious (weak) adversaries are modelled by
+simply not looking.
+
+Every adversary used with :meth:`Simulation.run` must be *fair in the
+limit*: as long as actions remain enabled it keeps choosing them, and it
+starves no message or processor forever once nothing else is enabled.
+:func:`fallback_action` implements that safety net; concrete adversaries
+express their strategy first and fall back when out of targeted moves.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+from ..sim.runtime import Action, Deliver, Step
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.runtime import Simulation
+
+
+def fallback_action(sim: "Simulation") -> Action | None:
+    """A progress-guaranteeing default: deliver something, else step someone.
+
+    Returns ``None`` only when no action is enabled (quiescence).
+    """
+    message = sim.in_flight.any_message()
+    if message is not None:
+        return Deliver(message)
+    steppable = sim.steppable
+    if steppable:
+        return Step(min(steppable))
+    return None
+
+
+class Adversary(abc.ABC):
+    """Base class for scheduling strategies."""
+
+    #: Short machine-readable identifier used in benchmark tables.
+    name: str = "adversary"
+
+    def setup(self, sim: "Simulation") -> None:
+        """Hook called once before the first action is requested."""
+
+    @abc.abstractmethod
+    def choose(self, sim: "Simulation") -> Action | None:
+        """Pick the next enabled action, or ``None`` at quiescence."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,96 @@
+"""The coin-examining attack from the paper's introduction.
+
+Against the *naive* sifting strawman — flip a biased coin first, then
+announce it, and survive unless you flipped 0 and saw a 1 — the strong
+adversary wins by looking at the flips: it starts every participant (so
+all coins are flipped and announcements are in flight but undelivered),
+then runs the 0-flippers to completion *before any 1-flipper's
+announcement is delivered*.  Every 0-flipper sees no 1 and survives;
+every 1-flipper survives by definition: nobody is eliminated.
+
+The attack needs delivery isolation: while a 0-flipper is the focus, only
+messages sent by or addressed to the focus are delivered, so the
+1-flippers' announcements stay in flight.  Against PoisonPill the same
+schedule is harmless — participants only *commit* in their first step, the
+coin is flipped after the commit is propagated, so the commit states kill
+the late 0-flippers regardless (the "catch-22" of Section 1).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..sim.runtime import Action, Deliver, Step
+from .base import Adversary, fallback_action
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.runtime import Simulation
+
+
+class CoinAwareAdversary(Adversary):
+    """Start everyone, inspect coins, then serialize 0-flippers first."""
+
+    name = "coin_aware"
+
+    def __init__(self) -> None:
+        self._started_all = False
+        self._order: list[int] | None = None
+
+    def _ordered_focus(self, sim: "Simulation") -> int | None:
+        if self._order is None:
+            # All coins that will ever matter for ordering are flipped by
+            # now; 0-flippers (and processors with no flips yet) go first.
+            def sort_key(pid: int) -> tuple[int, int]:
+                last = sim.process(pid).coins.last()
+                return ((last[1] if last is not None else 0), pid)
+
+            self._order = sorted(sim.undecided, key=sort_key)
+        undecided = sim.undecided
+        for pid in self._order:
+            if pid in undecided:
+                return pid
+        return None
+
+    def choose(self, sim: "Simulation") -> Action | None:
+        if not self._started_all:
+            # Phase A: give every participant exactly one computation step
+            # so each one flips (or commits) and its first announcement is
+            # parked in flight.
+            for pid in sorted(sim.steppable):
+                if sim.process(pid).coroutine is None:
+                    return Step(pid)
+            self._started_all = True
+        focus = self._ordered_focus(sim)
+        if focus is None:
+            return fallback_action(sim)
+        if focus in sim.steppable:
+            return Step(focus)
+        # Serve the focus's quorums only through "clean" channels: a
+        # participant that flipped 1 would reveal its coin through its
+        # parked announcement or through a COLLECT reply, so all traffic to
+        # or from 1-flippers stays frozen as long as enough clean
+        # processors exist (the adversary never needs more than a bare
+        # majority to resolve a communicate call).
+        dirty = set()
+        for process in sim.processes:
+            if not process.is_participant or process.pid == focus:
+                continue
+            last = process.coins.last()
+            if last is not None and last[1] == 1:
+                dirty.add(process.pid)
+        held_back = None
+        for message in sim.in_flight.addressed_to(focus):
+            if message.sender not in dirty:
+                return Deliver(message)
+            held_back = message
+        for message in sim.in_flight.sent_by(focus):
+            if message.recipient not in dirty:
+                return Deliver(message)
+            held_back = message
+        if held_back is not None:
+            # Not enough clean channels to complete the quorum; leak
+            # minimally rather than deadlock.
+            return Deliver(held_back)
+        # Nothing involves the focus: it genuinely needs traffic from a
+        # blocked source.  Fall back to keep the run live.
+        return fallback_action(sim)

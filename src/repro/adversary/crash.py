@@ -1,0 +1,86 @@
+"""Crash-failure injection, composable with any scheduling strategy.
+
+The model allows the adversary to crash up to ``t <= ceil(n/2) - 1``
+processors at any point.  These wrappers add that capability to an inner
+scheduler:
+
+* :class:`CrashingAdversary` crashes specific processors at specific
+  event counts (deterministic failure injection for tests);
+* :class:`RandomCrashAdversary` crashes uniformly random alive processors
+  at a configured rate until a budget is spent (stochastic fault storms
+  for property tests).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from ..sim.rng import make_stream
+from ..sim.runtime import Action, Crash
+from .base import Adversary
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.runtime import Simulation
+
+
+class CrashingAdversary(Adversary):
+    """Crash ``pid`` once ``events_executed`` reaches ``at_event``.
+
+    ``schedule`` is a sequence of ``(at_event, pid)`` pairs; crashes fire in
+    order, each as soon as the event counter passes its trigger.
+    """
+
+    name = "crashing"
+
+    def __init__(self, inner: Adversary, schedule: Sequence[tuple[int, int]]) -> None:
+        self._inner = inner
+        self._schedule = sorted(schedule)
+        self._next = 0
+        self.name = f"crashing+{inner.name}"
+
+    def setup(self, sim: "Simulation") -> None:
+        self._inner.setup(sim)
+
+    def choose(self, sim: "Simulation") -> Action | None:
+        while self._next < len(self._schedule):
+            at_event, pid = self._schedule[self._next]
+            if sim.metrics.events_executed < at_event:
+                break
+            self._next += 1
+            if pid not in sim.crashed and sim.crashes_remaining > 0:
+                return Crash(pid)
+        return self._inner.choose(sim)
+
+
+class RandomCrashAdversary(Adversary):
+    """Crash a random alive processor with probability ``rate`` per action."""
+
+    name = "random_crash"
+
+    def __init__(
+        self,
+        inner: Adversary,
+        rate: float = 0.001,
+        seed: int = 0,
+        max_crashes: int | None = None,
+    ) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be within [0, 1]")
+        self._inner = inner
+        self._rate = rate
+        self._rng = make_stream(seed, "adversary/random_crash")
+        self._max_crashes = max_crashes
+        self.name = f"random_crash+{inner.name}"
+
+    def setup(self, sim: "Simulation") -> None:
+        self._inner.setup(sim)
+
+    def choose(self, sim: "Simulation") -> Action | None:
+        budget = sim.crashes_remaining
+        if self._max_crashes is not None:
+            budget = min(budget, self._max_crashes - len(sim.crashed))
+        if budget > 0 and self._rng.random() < self._rate:
+            alive = [pid for pid in range(sim.n) if pid not in sim.crashed]
+            if alive:
+                return Crash(alive[self._rng.randrange(len(alive))])
+        return self._inner.choose(sim)

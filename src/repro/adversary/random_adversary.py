@@ -1,0 +1,48 @@
+"""Uniformly random (but fair) scheduling.
+
+At each decision point, flips between delivering a uniformly random
+in-flight message and stepping a uniformly random steppable processor.
+This is the standard "average-case" schedule: it exercises heavy
+asynchrony and interleaving without targeting any algorithm weakness, and
+it terminates with probability 1 for every protocol in this repository.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..sim.rng import make_stream
+from ..sim.runtime import Action, Deliver, Step
+from .base import Adversary
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.runtime import Simulation
+
+
+class RandomAdversary(Adversary):
+    """Fair random scheduler.
+
+    ``deliver_bias`` is the probability of choosing a delivery when both
+    deliveries and steps are enabled.  Biasing towards deliveries keeps the
+    in-flight pool small, which keeps memory bounded on large runs.
+    """
+
+    name = "random"
+
+    def __init__(self, seed: int = 0, deliver_bias: float = 0.75) -> None:
+        if not 0.0 < deliver_bias < 1.0:
+            raise ValueError("deliver_bias must be strictly between 0 and 1")
+        self._rng = make_stream(seed, "adversary/random")
+        self._deliver_bias = deliver_bias
+
+    def choose(self, sim: "Simulation") -> Action | None:
+        pool = sim.in_flight.messages
+        steppable = sim.steppable
+        if pool and (not steppable or self._rng.random() < self._deliver_bias):
+            return Deliver(pool[self._rng.randrange(len(pool))])
+        if steppable:
+            candidates = tuple(steppable)
+            return Step(candidates[self._rng.randrange(len(candidates))])
+        if pool:
+            return Deliver(pool[self._rng.randrange(len(pool))])
+        return None

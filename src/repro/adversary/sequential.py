@@ -1,0 +1,59 @@
+"""The sequential attack of Section 3.2.
+
+The adversary serializes the participants: it lets exactly one "focus"
+processor advance its protocol at a time, delivering whatever traffic is
+needed for the focus's quorums while never scheduling a computation step
+for anyone else.  Everyone else still acknowledges (acknowledgement happens
+at delivery in this model), so the focus completes its entire procedure
+solo, then the next participant runs, and so on.
+
+Against plain PoisonPill this is the worst case: the first processors to
+run all flip 0, see nobody else, and survive, so the expected number of
+survivors is Theta(sqrt(n)) — the lower bound the paper's Section 3.2 uses
+to motivate the heterogeneous variant.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from ..sim.runtime import Action, Deliver, Step
+from .base import Adversary
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.runtime import Simulation
+
+
+class SequentialAdversary(Adversary):
+    """Run participants one at a time, in ``order`` (default: pid order)."""
+
+    name = "sequential"
+
+    def __init__(self, order: Sequence[int] | None = None) -> None:
+        self._order = list(order) if order is not None else None
+
+    def setup(self, sim: "Simulation") -> None:
+        if self._order is None:
+            self._order = sorted(sim.undecided)
+
+    def _focus(self, sim: "Simulation") -> int | None:
+        assert self._order is not None
+        undecided = sim.undecided
+        for pid in self._order:
+            if pid in undecided:
+                return pid
+        return None
+
+    def choose(self, sim: "Simulation") -> Action | None:
+        focus = self._focus(sim)
+        if focus is not None and focus in sim.steppable:
+            return Step(focus)
+        message = sim.in_flight.any_message()
+        if message is not None:
+            return Deliver(message)
+        steppable = sim.steppable
+        if steppable:
+            # The focus is blocked with no traffic left (quorum unreachable,
+            # e.g. due to crashes); degrade gracefully to keep others live.
+            return Step(min(steppable))
+        return None

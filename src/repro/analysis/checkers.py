@@ -1,0 +1,150 @@
+"""Correctness checkers for leader election, sifting, and renaming.
+
+Each checker inspects a finished :class:`~repro.sim.runtime.SimulationResult`
+and raises :class:`SpecificationViolation` with a precise diagnosis if the
+execution violates the corresponding problem specification.  They encode
+the paper's problem statements (Section 2) operationally:
+
+* leader election — termination, unique winner, and the linearizability
+  condition that no processor loses before the eventual winner's
+  invocation has started (Lemmas A.1-A.3);
+* sifting phases — at least one survivor when everybody returns
+  (Claims 3.1 / A.1's analogue for a single phase);
+* strong renaming — distinct names within ``0 .. n-1`` and termination
+  of all correct participants (Lemma A.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.protocol import Outcome
+from ..sim.runtime import SimulationResult
+
+
+class SpecificationViolation(AssertionError):
+    """An execution broke the problem specification being checked."""
+
+
+@dataclass(frozen=True, slots=True)
+class LeaderElectionReport:
+    """Digest of a checked leader-election execution."""
+
+    winner: int | None
+    losers: tuple[int, ...]
+    crashed: tuple[int, ...]
+    undecided: tuple[int, ...]
+
+
+def check_leader_election(result: SimulationResult) -> LeaderElectionReport:
+    """Validate a leader-election execution; returns a report on success."""
+    winners = [
+        pid for pid, decision in result.decisions.items()
+        if decision.result is Outcome.WIN
+    ]
+    losers = [
+        pid for pid, decision in result.decisions.items()
+        if decision.result is Outcome.LOSE
+    ]
+    strays = [
+        (pid, decision.result)
+        for pid, decision in result.decisions.items()
+        if decision.result not in (Outcome.WIN, Outcome.LOSE)
+    ]
+    if strays:
+        raise SpecificationViolation(f"non WIN/LOSE outcomes returned: {strays}")
+    if len(winners) > 1:
+        raise SpecificationViolation(f"multiple winners: {sorted(winners)}")
+    crash_free = not result.crashed
+    if crash_free and result.terminated and result.decisions and not winners:
+        raise SpecificationViolation(
+            "every participant returned LOSE in a crash-free execution "
+            "(violates Lemma A.1)"
+        )
+    first_lose_response = min(
+        (result.decisions[pid].decide_time for pid in losers), default=None
+    )
+    if first_lose_response is not None:
+        if winners:
+            winner_start = result.decisions[winners[0]].start_time
+            if winner_start > first_lose_response:
+                raise SpecificationViolation(
+                    "a LOSE was returned before the winner invoked the "
+                    f"protocol (lose at t={first_lose_response}, winner "
+                    f"started at t={winner_start}); not linearizable"
+                )
+        else:
+            # No winner returned: only legal if some pending operation
+            # (crashed after starting, or still undecided) can be
+            # linearized as the winner before the first LOSE response.
+            pending_starts = [
+                start
+                for pid, start in result.start_times.items()
+                if pid in result.crashed or pid in result.undecided
+            ]
+            if not any(start <= first_lose_response for start in pending_starts):
+                raise SpecificationViolation(
+                    "processors lost but no (possibly pending) operation "
+                    "can be linearized as the winner before the first LOSE"
+                )
+    return LeaderElectionReport(
+        winner=winners[0] if winners else None,
+        losers=tuple(sorted(losers)),
+        crashed=tuple(sorted(result.crashed)),
+        undecided=tuple(sorted(result.undecided)),
+    )
+
+
+def count_survivors(result: SimulationResult) -> int:
+    """Number of participants that returned SURVIVE from a sifting phase."""
+    return sum(
+        1 for decision in result.decisions.values()
+        if decision.result is Outcome.SURVIVE
+    )
+
+
+def check_sifting_phase(result: SimulationResult) -> int:
+    """Validate one sifting phase; returns the survivor count.
+
+    Claim 3.1 (and its heterogeneous analogue): if all participants
+    return, at least one must survive.  Only enforced for executions in
+    which everyone returned and nobody crashed — with crashes, zero
+    survivors among the returners is permitted only if someone crashed.
+    """
+    for pid, decision in result.decisions.items():
+        if decision.result not in (Outcome.SURVIVE, Outcome.DIE):
+            raise SpecificationViolation(
+                f"processor {pid} returned {decision.result!r} from a "
+                "sifting phase"
+            )
+    survivors = count_survivors(result)
+    if result.terminated and not result.crashed and result.decisions:
+        if survivors == 0:
+            raise SpecificationViolation(
+                "all participants died in a sifting phase (violates Claim 3.1)"
+            )
+    return survivors
+
+
+def check_renaming(result: SimulationResult) -> dict[int, int]:
+    """Validate a renaming execution; returns the ``pid -> name`` map."""
+    names: dict[int, int] = {}
+    for pid, decision in result.decisions.items():
+        name = decision.result
+        if not isinstance(name, int) or not 0 <= name < result.n:
+            raise SpecificationViolation(
+                f"processor {pid} returned invalid name {name!r} "
+                f"(expected an int within [0, {result.n}))"
+            )
+        names[pid] = name
+    assigned = list(names.values())
+    if len(set(assigned)) != len(assigned):
+        duplicates = sorted(
+            name for name in set(assigned) if assigned.count(name) > 1
+        )
+        raise SpecificationViolation(f"duplicate names assigned: {duplicates}")
+    if not result.crashed and not result.terminated:
+        raise SpecificationViolation(
+            "crash-free renaming execution did not terminate"
+        )
+    return names

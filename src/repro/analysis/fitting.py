@@ -1,0 +1,105 @@
+"""Growth-model fitting for benchmark series.
+
+The benchmarks do not try to match the paper's absolute constants (our
+substrate is a simulator, not the authors' testbed); they check *shape*:
+does time grow like ``log n`` (tournament) or like ``log* n`` (PoisonPill
+leader election)?  Do messages grow like ``n^2``?  These helpers fit the
+candidate models by least squares and report goodness of fit, so tables
+can print "best model: logstar" style verdicts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from .theory import log_star
+
+
+@dataclass(frozen=True, slots=True)
+class Fit:
+    """A fitted ``y ~ a + b * g(x)`` model."""
+
+    model: str
+    intercept: float
+    slope: float
+    rmse: float
+
+    def predict(self, feature: float) -> float:
+        """Evaluate the fitted model at a (pre-transformed) feature value."""
+        return self.intercept + self.slope * feature
+
+
+def _least_squares(features: Sequence[float], ys: Sequence[float]) -> tuple[float, float, float]:
+    """Fit ``y = a + b f`` by ordinary least squares; returns (a, b, rmse)."""
+    count = len(features)
+    if count != len(ys) or count < 2:
+        raise ValueError("need at least two (x, y) points")
+    mean_f = sum(features) / count
+    mean_y = sum(ys) / count
+    denominator = sum((f - mean_f) ** 2 for f in features)
+    if denominator == 0.0:
+        slope = 0.0
+    else:
+        slope = sum(
+            (f - mean_f) * (y - mean_y) for f, y in zip(features, ys)
+        ) / denominator
+    intercept = mean_y - slope * mean_f
+    rmse = math.sqrt(
+        sum((intercept + slope * f - y) ** 2 for f, y in zip(features, ys)) / count
+    )
+    return intercept, slope, rmse
+
+
+def fit_model(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    transform: Callable[[float], float],
+    model: str,
+) -> Fit:
+    """Fit ``y ~ a + b * transform(x)``."""
+    intercept, slope, rmse = _least_squares([transform(x) for x in xs], ys)
+    return Fit(model=model, intercept=intercept, slope=slope, rmse=rmse)
+
+
+def fit_log(xs: Sequence[float], ys: Sequence[float]) -> Fit:
+    """``y ~ a + b log2(x)`` — the tournament's growth."""
+    return fit_model(xs, ys, math.log2, "log")
+
+
+def fit_log_squared(xs: Sequence[float], ys: Sequence[float]) -> Fit:
+    """``y ~ a + b log2(x)^2`` — the renaming time bound."""
+    return fit_model(xs, ys, lambda x: math.log2(x) ** 2, "log^2")
+
+
+def fit_logstar(xs: Sequence[float], ys: Sequence[float]) -> Fit:
+    """``y ~ a + b log*(x)`` — the paper's leader-election growth."""
+    return fit_model(xs, ys, lambda x: float(log_star(x)), "log*")
+
+
+def fit_linear(xs: Sequence[float], ys: Sequence[float]) -> Fit:
+    """``y ~ a + b x``."""
+    return fit_model(xs, ys, float, "linear")
+
+
+def fit_power(xs: Sequence[float], ys: Sequence[float]) -> Fit:
+    """Fit ``y ~ c x^p`` via log-log regression; slope is the exponent ``p``.
+
+    Used to verify the ``n^2`` message-complexity growth (E2, E5) and the
+    ``sqrt(n)`` survivor growth (E3): the returned ``slope`` should land
+    near 2.0 and 0.5 respectively.
+    """
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ValueError("power fit requires positive data")
+    intercept, slope, rmse = _least_squares(
+        [math.log(x) for x in xs], [math.log(y) for y in ys]
+    )
+    return Fit(model="power", intercept=intercept, slope=slope, rmse=rmse)
+
+
+def best_fit(xs: Sequence[float], ys: Sequence[float], candidates: Sequence[Fit]) -> Fit:
+    """The candidate with the lowest RMSE (candidates pre-fitted on xs/ys)."""
+    if not candidates:
+        raise ValueError("no candidate fits supplied")
+    return min(candidates, key=lambda fit: fit.rmse)

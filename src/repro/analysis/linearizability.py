@@ -1,0 +1,104 @@
+"""Brute-force linearizability checking for atomic-register histories.
+
+Used to validate the ABD emulation (:mod:`repro.memory.abd`): a history
+of concurrent reads/writes with real-time intervals is linearizable iff
+there is a total order that (a) respects real-time precedence (an
+operation that responded before another was invoked comes first) and
+(b) makes every read return the latest preceding write (or the initial
+value).
+
+The search is exponential in general; histories extracted from tests are
+small (one operation per participant), and memoization on
+``(remaining-set, current-value)`` keeps it fast in practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable, Sequence
+
+READ = "read"
+WRITE = "write"
+
+
+@dataclass(frozen=True, slots=True)
+class RegisterOp:
+    """One completed register operation with its real-time interval."""
+
+    proc: int
+    kind: str  # READ or WRITE
+    value: Any  # value written, or value returned by the read
+    invoked: int
+    responded: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in (READ, WRITE):
+            raise ValueError(f"unknown op kind {self.kind!r}")
+        if self.responded < self.invoked:
+            raise ValueError("operation responded before it was invoked")
+
+
+def _precedes(first: RegisterOp, second: RegisterOp) -> bool:
+    """Real-time order: ``first`` completed before ``second`` started."""
+    return first.responded < second.invoked
+
+
+def check_register_linearizable(
+    ops: Sequence[RegisterOp],
+    initial: Hashable = None,
+) -> list[RegisterOp] | None:
+    """Find a linearization of ``ops``, or ``None`` if none exists.
+
+    Returns the witness order on success so failures are debuggable.
+    """
+    ops = list(ops)
+    indices = range(len(ops))
+    failed: set[tuple[frozenset[int], Hashable]] = set()
+
+    def search(
+        remaining: frozenset[int], value: Hashable, order: list[int]
+    ) -> list[int] | None:
+        if not remaining:
+            return order
+        key = (remaining, value)
+        if key in failed:
+            return None
+        for index in remaining:
+            op = ops[index]
+            # Real-time: nothing remaining may have completed before this
+            # op was invoked.
+            if any(
+                other != index and _precedes(ops[other], op)
+                for other in remaining
+            ):
+                continue
+            if op.kind == READ and op.value != value:
+                continue
+            next_value = op.value if op.kind == WRITE else value
+            result = search(remaining - {index}, next_value, order + [index])
+            if result is not None:
+                return result
+        failed.add(key)
+        return None
+
+    witness = search(frozenset(indices), initial, [])
+    if witness is None:
+        return None
+    return [ops[index] for index in witness]
+
+
+def assert_register_linearizable(
+    ops: Sequence[RegisterOp], initial: Hashable = None
+) -> list[RegisterOp]:
+    """Raise ``AssertionError`` with the history when not linearizable."""
+    witness = check_register_linearizable(ops, initial)
+    if witness is None:
+        raise AssertionError(
+            "history is not linearizable as an atomic register:\n"
+            + "\n".join(
+                f"  p{op.proc} {op.kind}({op.value!r}) "
+                f"[{op.invoked}, {op.responded}]"
+                for op in sorted(ops, key=lambda o: o.invoked)
+            )
+        )
+    return witness

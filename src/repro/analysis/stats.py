@@ -1,0 +1,83 @@
+"""Small-sample statistics for benchmark aggregation.
+
+Pure-Python (no numpy dependency in the hot path) helpers producing the
+mean / spread / quantile summaries printed by the benchmark tables.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class Summary:
+    """Aggregate of one measured series."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+    median: float
+    p90: float
+
+    @property
+    def stderr(self) -> float:
+        return self.stdev / math.sqrt(self.count) if self.count > 0 else 0.0
+
+    def ci95(self) -> tuple[float, float]:
+        """Normal-approximation 95% confidence interval for the mean."""
+        half = 1.96 * self.stderr
+        return (self.mean - half, self.mean + half)
+
+    def __str__(self) -> str:
+        return f"{self.mean:.2f} ± {self.stderr:.2f} (max {self.maximum:.0f})"
+
+
+def quantile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile of pre-sorted data."""
+    if not sorted_values:
+        raise ValueError("quantile of empty data")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be within [0, 1]")
+    position = q * (len(sorted_values) - 1)
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high:
+        return float(sorted_values[low])
+    fraction = position - low
+    return float(sorted_values[low]) * (1 - fraction) + float(sorted_values[high]) * fraction
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Compute a :class:`Summary` of a measurement series."""
+    data = sorted(float(v) for v in values)
+    if not data:
+        raise ValueError("cannot summarize an empty series")
+    count = len(data)
+    mean = sum(data) / count
+    if count > 1:
+        variance = sum((v - mean) ** 2 for v in data) / (count - 1)
+    else:
+        variance = 0.0
+    return Summary(
+        count=count,
+        mean=mean,
+        stdev=math.sqrt(variance),
+        minimum=data[0],
+        maximum=data[-1],
+        median=quantile(data, 0.5),
+        p90=quantile(data, 0.9),
+    )
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean; requires strictly positive inputs."""
+    data = [float(v) for v in values]
+    if not data:
+        raise ValueError("geometric mean of empty data")
+    if any(v <= 0 for v in data):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in data) / len(data))

@@ -1,0 +1,121 @@
+"""Closed-form quantities from the paper's analysis.
+
+These are the *predicted* values the benchmarks compare measurements
+against: iterated logarithms, the expected-survivor bounds of Claims
+3.2 / Lemmas 3.6-3.7, the round recursion of Theorem A.5, and the
+message-complexity floors of Corollary B.3.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def log_star(x: float, base: float = 2.0) -> int:
+    """The iterated logarithm: how many times ``log`` until the value <= 1.
+
+    ``log*`` grows absurdly slowly — it is at most 5 for every input that
+    fits in the observable universe — which is exactly the paper's point.
+    """
+    if x < 0:
+        raise ValueError("log_star is undefined for negative inputs")
+    count = 0
+    while x > 1.0:
+        x = math.log(x, base)
+        count += 1
+    return count
+
+
+def poison_pill_survivors(n: int) -> float:
+    """Claim 3.2's bound: at most ``2 sqrt(n)`` expected survivors.
+
+    ``sqrt(n)`` survivors by high priority plus ``sqrt(n)`` early
+    0-flippers before the first 1.
+    """
+    return 2.0 * math.sqrt(n) if n > 1 else 1.0
+
+
+def hpp_low_survivors(k: int) -> float:
+    """Lemma 3.6: expected 0-flipping survivors is ``O(log k) + O(1)``.
+
+    Claim 3.5 gives ``Pr[>= z survivors] = O(1/z)``; summing the tail up
+    to ``k`` yields a harmonic bound ``~ln k + 1``.
+    """
+    return math.log(max(k, 1)) + 1.0
+
+
+def hpp_high_survivors(k: int) -> float:
+    """Lemma 3.7: expected 1-flippers is ``1 + sum_{l=2}^{k} log2(l)/l``.
+
+    Computed exactly up to 100k terms; beyond that the integral
+    ``int log2(x)/x dx = ln(x)^2 / (2 ln 2)`` approximates the tail.
+    """
+    k = max(k, 1)
+    cutoff = 100_000
+    exact_upto = min(k, cutoff)
+    total = 1.0 + sum(math.log2(l) / l for l in range(2, exact_upto + 1))
+    if k > cutoff:
+        total += (math.log(k) ** 2 - math.log(cutoff) ** 2) / (2.0 * math.log(2))
+    return total
+
+
+def hpp_survivors(k: int) -> float:
+    """Expected survivors of one Heterogeneous PoisonPill phase."""
+    return hpp_low_survivors(k) + hpp_high_survivors(k)
+
+
+def round_recursion(k: int, constant: float = 1.0) -> float:
+    """One application of Theorem A.5's ``f(k) = C(log^2 k + 2 log k)``."""
+    if k <= 1:
+        return 0.0
+    log_k = math.log2(k)
+    return constant * (log_k * log_k + 2.0 * log_k)
+
+
+def expected_rounds(k: int, constant: float = 1.0, floor: float = 64.0) -> int:
+    """Iterate the round recursion until the participant bound is constant.
+
+    Theorem A.5: after ``O(log* k)`` rounds the expected participant count
+    is constant.  The recursion ``f(k) = log^2 k + 2 log k`` contracts only
+    above its fixed point (around 55 for ``constant = 1``), so iteration
+    stops at the fixed-point region — the "constant" of the theorem —
+    or as soon as it dips under ``floor``.
+    """
+    rounds = 0
+    remaining = float(k)
+    while remaining > floor:
+        reduced = round_recursion(remaining, constant)
+        if reduced >= remaining:
+            break  # reached the non-contracting (constant) region
+        remaining = reduced
+        rounds += 1
+    return rounds
+
+
+def tournament_levels(n: int) -> int:
+    """Bracket depth of the [AGTV92] tournament baseline: ``ceil(log2 n)``."""
+    return max(1, math.ceil(math.log2(n))) if n > 1 else 0
+
+
+def message_lower_bound(k: int, n: int, alpha: float = 1.0) -> float:
+    """Corollary B.3 / Theorem B.2 floor: ``alpha * k * n / 16`` messages."""
+    return alpha * k * n / 16.0
+
+
+def renaming_time_bound(n: int, constant: float = 1.0) -> float:
+    """Theorem A.13: ``O(log^2 n)`` communicate calls per processor."""
+    if n <= 1:
+        return 1.0
+    log_n = math.log2(n)
+    return constant * log_n * log_n
+
+
+def chernoff_upper_tail(mean: float, deviation: float) -> float:
+    """Chernoff bound ``exp(-d^2 / (2 + d) * mu)`` for ``X >= (1+d) mu``.
+
+    Used by tests that assert measured tail frequencies stay under the
+    analytic envelope (e.g. Lemma 4.1's clean-iteration bound).
+    """
+    if deviation < 0:
+        raise ValueError("deviation must be non-negative")
+    return math.exp(-(deviation * deviation) / (2.0 + deviation) * mean)

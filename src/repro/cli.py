@@ -1,0 +1,182 @@
+"""Command-line interface: run any experiment without writing code.
+
+Examples::
+
+    python -m repro elect  --n 32 --adversary random --seed 7
+    python -m repro elect  --n 32 --algorithm tournament
+    python -m repro sift   --n 64 --kind poison_pill --adversary sequential
+    python -m repro rename --n 16 --algorithm paper --adversary quorum_split
+    python -m repro sweep  --task elect --ns 4 8 16 32 --repeats 5
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from .adversary import ADVERSARY_FACTORIES
+from .analysis.stats import summarize
+from .analysis.theory import log_star
+from .harness.runners import (
+    LEADER_ALGORITHMS,
+    RENAMING_ALGORITHMS,
+    SIFTER_KINDS,
+    run_leader_election,
+    run_renaming,
+    run_sifting_phase,
+)
+from .harness.sweep import sweep
+from .harness.tables import Table
+
+ADVERSARIES = sorted(ADVERSARY_FACTORIES)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse command tree for the repro CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'How to Elect a Leader Faster than a "
+            "Tournament' (PODC 2015): leader election, sifting phases, "
+            "and renaming in a simulated asynchronous system."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--n", type=int, default=16, help="system size")
+        p.add_argument("--k", type=int, default=None, help="participants (default n)")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--adversary", choices=ADVERSARIES, default="random")
+        p.add_argument(
+            "--pattern",
+            choices=("first", "last", "spread", "random"),
+            default="first",
+            help="which pids participate",
+        )
+
+    elect = sub.add_parser("elect", help="run one leader election")
+    common(elect)
+    elect.add_argument("--algorithm", choices=LEADER_ALGORITHMS, default="poison_pill")
+
+    sift = sub.add_parser("sift", help="run one sifting phase")
+    common(sift)
+    sift.add_argument("--kind", choices=SIFTER_KINDS, default="heterogeneous")
+    sift.add_argument("--bias", type=float, default=None)
+
+    rename = sub.add_parser("rename", help="run one renaming execution")
+    common(rename)
+    rename.add_argument("--algorithm", choices=RENAMING_ALGORITHMS, default="paper")
+
+    sweep_p = sub.add_parser("sweep", help="sweep n and print a summary table")
+    sweep_p.add_argument("--task", choices=("elect", "sift", "rename"), default="elect")
+    sweep_p.add_argument("--ns", type=int, nargs="+", default=[4, 8, 16, 32])
+    sweep_p.add_argument("--repeats", type=int, default=3)
+    sweep_p.add_argument("--adversary", choices=ADVERSARIES, default="random")
+    sweep_p.add_argument("--algorithm", default=None)
+    sweep_p.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_elect(args) -> int:
+    run = run_leader_election(
+        n=args.n, k=args.k, algorithm=args.algorithm,
+        adversary=args.adversary, seed=args.seed, pattern=args.pattern,
+    )
+    print(f"winner:        processor {run.winner}")
+    print(f"rounds:        {run.rounds} (log* k = {log_star(run.k)})")
+    print(f"comm calls:    {run.max_comm_calls}")
+    print(f"messages:      {run.messages_total:,}")
+    return 0
+
+
+def _cmd_sift(args) -> int:
+    run = run_sifting_phase(
+        n=args.n, k=args.k, kind=args.kind, adversary=args.adversary,
+        seed=args.seed, pattern=args.pattern, bias=args.bias, check=False,
+    )
+    print(f"survivors:     {run.survivors} / {run.k} "
+          f"({run.survivor_fraction:.0%})")
+    print(f"messages:      {run.result.metrics.messages_total:,}")
+    return 0
+
+
+def _cmd_rename(args) -> int:
+    run = run_renaming(
+        n=args.n, k=args.k, algorithm=args.algorithm,
+        adversary=args.adversary, seed=args.seed, pattern=args.pattern,
+    )
+    print(f"names:         {dict(sorted(run.names.items()))}")
+    print(f"max trials:    {run.max_trials}")
+    print(f"comm calls:    {run.max_comm_calls}")
+    print(f"messages:      {run.messages_total:,}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    if args.task == "elect":
+        algorithm = args.algorithm or "poison_pill"
+
+        def runner(n, seed):
+            return run_leader_election(
+                n=n, algorithm=algorithm, adversary=args.adversary, seed=seed
+            )
+
+        metrics = {
+            "comm calls": lambda run: run.max_comm_calls,
+            "messages": lambda run: run.messages_total,
+            "rounds": lambda run: run.rounds,
+        }
+    elif args.task == "sift":
+        kind = args.algorithm or "heterogeneous"
+
+        def runner(n, seed):
+            return run_sifting_phase(
+                n=n, kind=kind, adversary=args.adversary, seed=seed, check=False
+            )
+
+        metrics = {
+            "survivors": lambda run: run.survivors,
+            "messages": lambda run: run.result.metrics.messages_total,
+        }
+    else:
+        algorithm = args.algorithm or "paper"
+
+        def runner(n, seed):
+            return run_renaming(
+                n=n, algorithm=algorithm, adversary=args.adversary, seed=seed
+            )
+
+        metrics = {
+            "trials": lambda run: run.max_trials,
+            "comm calls": lambda run: run.max_comm_calls,
+            "messages": lambda run: run.messages_total,
+        }
+    cells = sweep(args.ns, runner, repeats=args.repeats, seed_base=args.seed)
+    table = Table(
+        f"{args.task} sweep (adversary={args.adversary}, repeats={args.repeats})",
+        ["n", *metrics],
+    )
+    for cell in cells:
+        row = [cell.param]
+        for extract in metrics.values():
+            row.append(summarize(extract(run) for run in cell.runs).mean)
+        table.add_row(*row)
+    print(table.render())
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "elect": _cmd_elect,
+        "sift": _cmd_sift,
+        "rename": _cmd_rename,
+        "sweep": _cmd_sweep,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

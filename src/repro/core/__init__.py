@@ -1,0 +1,45 @@
+"""The paper's algorithms: PoisonPill sifting, leader election, renaming."""
+
+from .doorway import doorway
+from .heterogeneous import (
+    heterogeneous_bias,
+    heterogeneous_poison_pill,
+    make_heterogeneous_poison_pill,
+)
+from .leader_elect import leader_elect, make_leader_elect
+from .poison_pill import default_bias, make_poison_pill, poison_pill
+from .preround import preround
+from .protocol import (
+    DOOR_KEY,
+    HetStatus,
+    Outcome,
+    PillState,
+    contended_var,
+    door_var,
+    round_var,
+    status_var,
+)
+from .renaming import get_name, make_get_name
+
+__all__ = [
+    "DOOR_KEY",
+    "HetStatus",
+    "Outcome",
+    "PillState",
+    "contended_var",
+    "default_bias",
+    "door_var",
+    "doorway",
+    "get_name",
+    "heterogeneous_bias",
+    "heterogeneous_poison_pill",
+    "leader_elect",
+    "make_get_name",
+    "make_heterogeneous_poison_pill",
+    "make_leader_elect",
+    "make_poison_pill",
+    "poison_pill",
+    "preround",
+    "round_var",
+    "status_var",
+]

@@ -1,0 +1,23 @@
+"""Baseline algorithms the paper compares against (or improves upon)."""
+
+from .linear_renaming import linear_renaming, make_linear_renaming
+from .naive_sifter import make_naive_sifter, naive_sifter
+from .tournament import bracket_levels, make_tournament, tournament
+from .two_proc import (
+    Match,
+    make_two_processor_test_and_set,
+    two_processor_test_and_set,
+)
+
+__all__ = [
+    "Match",
+    "bracket_levels",
+    "linear_renaming",
+    "make_linear_renaming",
+    "make_naive_sifter",
+    "make_tournament",
+    "make_two_processor_test_and_set",
+    "naive_sifter",
+    "tournament",
+    "two_processor_test_and_set",
+]

@@ -1,0 +1,45 @@
+"""The simple balls-into-bins renaming baseline ([AAG+10]-style).
+
+Each processor tries the names in a private uniformly random order,
+competing for each via leader election, until it wins one.  No contention
+information is shared, so a late processor can collide with already-taken
+names again and again: the expected time complexity is ``Omega(n)``
+trials for the last processor (Related Work, page 3) — the behaviour
+experiment E5 contrasts with the paper's ``O(log^2 n)`` algorithm, whose
+whole point is the shared ``Contended`` bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ...sim.communicate import Request
+from ...sim.process import AlgorithmFactory, ProcessAPI
+from ..leader_elect import leader_elect
+from ..protocol import Outcome
+
+
+def linear_renaming(api: ProcessAPI, namespace: str = "lr") -> Iterator[Request]:
+    """Try names in random order until one is won; returns the name.
+
+    Returns ``None`` in the pathological case that every trial loses,
+    which cannot happen in crash-free executions (each of the other
+    ``n - 1`` processors claims at most one name).
+    """
+    remaining = list(range(api.n))
+    while remaining:
+        spot = api.choice(remaining, label=f"{namespace}.spot")
+        remaining.remove(spot)
+        outcome = yield from leader_elect(api, namespace=f"{namespace}.le{spot}")
+        if outcome is Outcome.WIN:
+            return spot
+    return None
+
+
+def make_linear_renaming(namespace: str = "lr") -> AlgorithmFactory:
+    """Factory adapter for :class:`~repro.sim.runtime.Simulation`."""
+
+    def factory(api: ProcessAPI):
+        return linear_renaming(api, namespace=namespace)
+
+    return factory

@@ -1,0 +1,66 @@
+"""The broken strawman from the paper's introduction.
+
+"Each processor flips a biased coin at the beginning of the phase, to
+decide whether to give up (value 0) or continue (value 1), and
+communicates its choice to others.  If at least one processor out of the
+participants flips 1, all processors which flipped 0 can safely drop from
+contention."
+
+Against a *weak* adversary this sifts well; against the strong adaptive
+adversary it fails completely: the adversary examines the flips and
+schedules every 0-flipper to finish the phase before any 1-flipper's
+announcement is delivered, so nobody observes a 1 and everyone survives
+(experiment E7, driven by
+:class:`~repro.adversary.coin_aware.CoinAwareAdversary`).
+
+The contrast with PoisonPill is the paper's first key idea: committing
+*before* flipping makes observing the flips costly for the adversary.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from ...sim.communicate import Collect, Propagate, Request
+from ...sim.process import AlgorithmFactory, ProcessAPI
+from ..protocol import Outcome
+
+
+def naive_sifter(
+    api: ProcessAPI,
+    namespace: str = "naive",
+    bias: float | None = None,
+) -> Iterator[Request]:
+    """One naive sifting phase; returns SURVIVE or DIE.
+
+    A processor survives iff it flipped 1 or saw no 1 in any collected
+    view.  Safe (at least one survivor) but not sound against an adaptive
+    scheduler.
+    """
+    var = f"{namespace}.Coin"
+    me = api.pid
+    probability = bias if bias is not None else (
+        1.0 / math.sqrt(api.n) if api.n > 1 else 1.0
+    )
+    coin = api.flip(probability, label=f"{namespace}.coin")
+    api.put(var, me, coin)
+    yield Propagate(var, (me,))
+    views = yield Collect(var)
+    if coin == 1:
+        return Outcome.SURVIVE
+    if any(value == 1 for view in views for value in view.values()):
+        return Outcome.DIE
+    return Outcome.SURVIVE
+
+
+def make_naive_sifter(
+    namespace: str = "naive",
+    bias: float | None = None,
+) -> AlgorithmFactory:
+    """Factory adapter for :class:`~repro.sim.runtime.Simulation`."""
+
+    def factory(api: ProcessAPI):
+        return naive_sifter(api, namespace=namespace, bias=bias)
+
+    return factory

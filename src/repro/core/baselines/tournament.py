@@ -1,0 +1,52 @@
+"""The tournament-tree baseline of Afek, Gafni, Tromp, Vitanyi [AGTV92].
+
+The decades-old upper bound the paper's title is measured against: pair
+the contenders into two-processor matches at the leaves of a binary
+bracket; match winners advance level by level until a single overall
+winner prevails.  The bracket has ``ceil(log2(n))`` levels and each match
+costs O(1) expected communicate calls, so the time complexity is
+``Theta(log n)`` — experiment E1 plots this against the paper's
+``O(log* k)`` algorithm.
+
+A processor at leaf ``pid`` plays match ``pid // 2`` at level 0; the
+winner of match ``m`` at level ``l`` plays match ``m // 2`` at level
+``l + 1``.  Empty sibling subtrees are byes, resolved by the round race
+without any explicit detection (see :mod:`.two_proc`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from ...sim.communicate import Request
+from ...sim.process import AlgorithmFactory, ProcessAPI
+from ..protocol import Outcome
+from .two_proc import two_processor_test_and_set
+
+
+def bracket_levels(n: int) -> int:
+    """Number of bracket levels needed for ``n`` leaf positions."""
+    return max(1, math.ceil(math.log2(n))) if n > 1 else 0
+
+
+def tournament(api: ProcessAPI, namespace: str = "tourn") -> Iterator[Request]:
+    """Compete through the bracket; returns WIN or LOSE."""
+    index = api.pid
+    for level in range(bracket_levels(api.n)):
+        index //= 2
+        outcome = yield from two_processor_test_and_set(
+            api, namespace=f"{namespace}.L{level}.M{index}"
+        )
+        if outcome is Outcome.LOSE:
+            return Outcome.LOSE
+    return Outcome.WIN
+
+
+def make_tournament(namespace: str = "tourn") -> AlgorithmFactory:
+    """Factory adapter for :class:`~repro.sim.runtime.Simulation`."""
+
+    def factory(api: ProcessAPI):
+        return tournament(api, namespace=namespace)
+
+    return factory

@@ -1,0 +1,55 @@
+"""Two-processor randomized test-and-set: the tournament's match primitive.
+
+The tournament baseline [AGTV92] pairs contenders into matches decided by
+two-processor randomized consensus.  In our message-passing model a match
+is realized by the round-race construction — the PreRound handshake of
+[SSW91] combined with per-round coin sifting — restricted to the two
+contenders of the match.  For two participants the expected number of
+rounds is O(1) even against the strong adversary (the Claim A.4 argument
+for small ``k``: the first processor to commit sees at most itself and its
+opponent, so it flips high with probability at least 1/2, killing a
+low-priority opponent).
+
+A solo participant (a "bye", which happens whenever the sibling subtree
+of the bracket is empty) wins after two rounds without waiting — the
+round numbers decide (``R < r - 1``) — so the tournament needs no
+explicit bye detection, which would be impossible to implement in an
+asynchronous system anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ...sim.communicate import Request
+from ...sim.process import AlgorithmFactory, ProcessAPI
+from ..leader_elect import leader_elect
+
+
+def two_processor_test_and_set(
+    api: ProcessAPI,
+    namespace: str = "match",
+) -> Iterator[Request]:
+    """Decide a match between (at most) two contenders; WIN or LOSE.
+
+    The doorway is omitted: match-level linearizability is not needed
+    inside a bracket, only the unique-winner property, which the round
+    race provides (Lemma A.2).
+    """
+    outcome = yield from leader_elect(api, namespace=namespace, use_doorway=False)
+    return outcome
+
+
+def make_two_processor_test_and_set(namespace: str = "match") -> AlgorithmFactory:
+    """Factory adapter for :class:`~repro.sim.runtime.Simulation`."""
+
+    def factory(api: ProcessAPI):
+        return two_processor_test_and_set(api, namespace=namespace)
+
+    return factory
+
+
+# Alias matching the paper's terminology for tournament "matches".
+Match = two_processor_test_and_set
+
+__all__ = ["Match", "make_two_processor_test_and_set", "two_processor_test_and_set"]

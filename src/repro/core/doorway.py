@@ -1,0 +1,32 @@
+"""The doorway mechanism — Figure 5 of the paper.
+
+A standard linearizability device [AGTV92]: each participant first
+collects the ``door`` flag from a quorum; if anyone already closed it, the
+participant is "too late" and loses immediately.  Otherwise it closes the
+door itself and propagates the closure to a quorum before proceeding.
+
+This guarantees that no processor can lose before the eventual winner has
+invoked the protocol (Lemma A.3): a losing processor either closed the
+door or saw it closed, and by quorum intersection any later invocation
+must observe a closed door.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..sim.communicate import Collect, Propagate, Request
+from ..sim.process import ProcessAPI
+from ..sim.registers import POLICY_OR
+from .protocol import DOOR_KEY, Outcome, door_var
+
+
+def doorway(api: ProcessAPI, namespace: str = "le") -> Iterator[Request]:
+    """Pass the doorway; returns PROCEED or LOSE."""
+    var = door_var(namespace)
+    views = yield Collect(var)                      # line 56
+    if any(view.get(DOOR_KEY, False) for view in views):
+        return Outcome.LOSE                         # lines 57-58
+    api.put(var, DOOR_KEY, True, policy=POLICY_OR)  # line 59
+    yield Propagate(var, (DOOR_KEY,))               # line 60
+    return Outcome.PROCEED                          # line 61

@@ -1,0 +1,26 @@
+"""Extensions built from the paper's toolkit.
+
+Section 6 proposes applying the techniques to "other fundamental
+distributed tasks, such as task allocation or mutual exclusion"; this
+package carries out the task-allocation direction with the same
+contention-bookkeeping machinery the renaming algorithm uses.
+"""
+
+from .mutex import (
+    assert_mutual_exclusion,
+    critical_section_intervals,
+    lock_once,
+    make_lock_once,
+)
+from .task_allocation import do_all, make_do_all, make_replicated_do_all, replicated_do_all
+
+__all__ = [
+    "assert_mutual_exclusion",
+    "critical_section_intervals",
+    "do_all",
+    "lock_once",
+    "make_do_all",
+    "make_lock_once",
+    "make_replicated_do_all",
+    "replicated_do_all",
+]

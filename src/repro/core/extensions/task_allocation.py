@@ -1,0 +1,102 @@
+"""Task allocation (do-all) from the renaming toolkit — future work of §6.
+
+``n`` tasks must each be performed at least once by ``k`` cooperating
+workers, despite asynchrony and crashes ([KS92, ABGG12] is the problem's
+lineage; the paper lists it as a target for its techniques).  The
+structure mirrors Figure 3's renaming loop: workers keep a shared sticky
+``Done`` array, repeatedly collect it, pick a *uniformly random*
+not-yet-done task from their view, perform it, mark it done, and
+propagate — until their view shows everything done.
+
+Unlike renaming there is no per-task leader election: duplicate
+executions are wasted work, not safety violations, so the interesting
+metric is the total number of executions (the "work"), which random
+selection keeps near ``n + o(n)`` for fair schedules while the
+no-coordination strawman (``replicated_do_all``: everyone does
+everything) pays ``k * n``.
+
+A task is marked done only *after* it was performed, so ``Done[u]``
+implies some worker completed ``u`` even under crashes — the safety half
+of do-all correctness.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ...sim.communicate import Collect, Propagate, Request
+from ...sim.process import AlgorithmFactory, ProcessAPI
+from ...sim.registers import POLICY_OR
+
+
+def _done_var(namespace: str) -> str:
+    return f"{namespace}.Done"
+
+
+def do_all(
+    api: ProcessAPI,
+    tasks: int | None = None,
+    namespace: str = "da",
+) -> Iterator[Request]:
+    """Cooperate on ``tasks`` tasks; returns the tuple of tasks this
+    worker executed (in execution order)."""
+    total = tasks if tasks is not None else api.n
+    var = _done_var(namespace)
+    executed: list[int] = []
+    while True:
+        views = yield Collect(var)
+        for task in range(total):
+            if any(view.get(task, False) for view in views):
+                api.put(var, task, True, policy=POLICY_OR)
+        remaining = [
+            task for task in range(total) if not api.get(var, task, False)
+        ]
+        if not remaining:
+            return tuple(executed)
+        task = api.choice(remaining, label=f"{namespace}.task")
+        executed.append(task)  # the task is "performed" here
+        # Local-only observability hook (never propagated): lets tests and
+        # crash post-mortems see which tasks this worker actually ran.
+        api.put(f"{namespace}.executed", api.pid, tuple(executed))
+        api.put(var, task, True, policy=POLICY_OR)
+        yield Propagate(var, (task,))
+
+
+def replicated_do_all(
+    api: ProcessAPI,
+    tasks: int | None = None,
+    namespace: str = "rda",
+) -> Iterator[Request]:
+    """The no-coordination strawman: every worker performs every task.
+
+    Still announces completions (so observers can track progress), but
+    ignores them — total work is exactly ``k * tasks``.
+    """
+    total = tasks if tasks is not None else api.n
+    var = _done_var(namespace)
+    executed = []
+    for task in range(total):
+        executed.append(task)
+        api.put(var, task, True, policy=POLICY_OR)
+        yield Propagate(var, (task,))
+    return tuple(executed)
+
+
+def make_do_all(tasks: int | None = None, namespace: str = "da") -> AlgorithmFactory:
+    """Factory adapter for :class:`~repro.sim.runtime.Simulation`."""
+
+    def factory(api: ProcessAPI):
+        return do_all(api, tasks=tasks, namespace=namespace)
+
+    return factory
+
+
+def make_replicated_do_all(
+    tasks: int | None = None, namespace: str = "rda"
+) -> AlgorithmFactory:
+    """Factory adapter for :class:`~repro.sim.runtime.Simulation`."""
+
+    def factory(api: ProcessAPI):
+        return replicated_do_all(api, tasks=tasks, namespace=namespace)
+
+    return factory

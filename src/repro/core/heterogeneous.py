@@ -1,0 +1,87 @@
+"""Heterogeneous PoisonPill — Figure 2 of the paper.
+
+The plain PoisonPill cannot beat ``Theta(sqrt(n))`` survivors: against a
+sequential schedule, any fixed bias loses on one side or the other
+(Section 3.2).  The heterogeneous variant makes the bias *view-dependent*:
+after committing, each processor records the list ``l`` of participants it
+observed, flips 1 with probability ``log|l| / |l|`` (probability 1 when it
+saw only itself), and attaches ``l`` to its announced priority.  The death
+rule then closes over observed lists: a low-priority processor unions all
+lists it saw into ``L`` and dies if some member of ``L`` was never seen
+low-priority.
+
+This buys the closure property of Claim 3.3 — the union of survivor lists
+is downward-closed under "completed its commit no later than" — which
+forces the adversary into a sequential-prefix structure and yields:
+
+* Lemma 3.6 — ``O(log k)`` expected survivors that flipped 0;
+* Lemma 3.7 — ``O(log^2 k)`` expected survivors that flipped 1.
+
+The ``use_lists`` flag is an ablation hook (experiment E9): with lists
+disabled the death rule only uses directly-observed participants, closure
+fails, and the sequential adversary gets many more survivors.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from ..sim.communicate import Collect, Propagate, Request
+from ..sim.process import AlgorithmFactory, ProcessAPI
+from .protocol import HetStatus, Outcome, PillState, status_var
+
+
+def heterogeneous_bias(observed: int) -> float:
+    """The view-dependent coin bias of Figure 2, lines 18-19."""
+    if observed <= 1:
+        return 1.0
+    return min(1.0, math.log2(observed) / observed)
+
+
+def heterogeneous_poison_pill(
+    api: ProcessAPI,
+    namespace: str = "hpp",
+    use_lists: bool = True,
+) -> Iterator[Request]:
+    """One Heterogeneous PoisonPill phase; returns SURVIVE or DIE."""
+    var = status_var(namespace)
+    me = api.pid
+    api.put(var, me, HetStatus(PillState.COMMIT, frozenset()))  # line 14
+    yield Propagate(var, (me,))                                 # line 15
+    views = yield Collect(var)                                  # line 16
+    observed = frozenset(j for view in views for j in view)     # line 17
+    probability = heterogeneous_bias(len(observed))             # lines 18-19
+    coin = api.flip(probability, label=f"{namespace}.coin")     # line 20
+    state = PillState.LOW if coin == 0 else PillState.HIGH
+    api.put(var, me, HetStatus(state, observed))                # lines 21-22
+    yield Propagate(var, (me,))                                 # line 23
+    views = yield Collect(var)                                  # line 24
+    if state is PillState.LOW:                                  # line 25
+        learned: set[int] = set()
+        if use_lists:
+            for view in views:                                  # line 26
+                for status in view.values():
+                    learned.update(status.members)
+        learned.update(j for view in views for j in view)       # line 27
+        # Local-only observability hook (never propagated): the L set this
+        # processor computed, used by tests asserting Claim 3.3's closure.
+        api.put(f"{namespace}.learned", me, frozenset(learned))
+        for j in learned:                                       # line 28
+            if not any(
+                j in view and view[j].state is PillState.LOW for view in views
+            ):
+                return Outcome.DIE                              # line 29
+    return Outcome.SURVIVE                                      # line 30
+
+
+def make_heterogeneous_poison_pill(
+    namespace: str = "hpp",
+    use_lists: bool = True,
+) -> AlgorithmFactory:
+    """Factory adapter for :class:`~repro.sim.runtime.Simulation`."""
+
+    def factory(api: ProcessAPI):
+        return heterogeneous_poison_pill(api, namespace=namespace, use_lists=use_lists)
+
+    return factory

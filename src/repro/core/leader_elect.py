@@ -1,0 +1,89 @@
+"""The complete leader-election algorithm — Figure 6 of the paper.
+
+Structure: pass the doorway once, then iterate rounds.  In round ``r`` a
+participant first runs :func:`~repro.core.preround.preround` — returning
+WIN or LOSE if the round numbers already decide the outcome — and
+otherwise participates in a round-``r`` instance of Heterogeneous
+PoisonPill, losing if it fails to survive.  Instances for different
+rounds are completely disjoint (fresh register namespaces).
+
+Guarantees (Theorem A.5): linearizable leader election; termination with
+probability 1 under up to ``ceil(n/2) - 1`` crashes; expected
+``O(log* k)`` communicate calls per processor and ``O(kn)`` total
+messages for ``k`` participants.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..sim.communicate import Request
+from ..sim.process import AlgorithmFactory, ProcessAPI
+from .doorway import doorway
+from .heterogeneous import heterogeneous_poison_pill
+from .poison_pill import poison_pill
+from .preround import preround
+from .protocol import Outcome
+
+#: Sifting phases usable inside the round loop.  ``heterogeneous`` is the
+#: paper's final construction (O(log* k) time); ``poison_pill`` realizes
+#: the intermediate O(log log k)-style recursion mentioned at the end of
+#: Section 3.1 (plain PoisonPill applied round after round).
+SIFTERS = ("heterogeneous", "poison_pill")
+
+
+def leader_elect(
+    api: ProcessAPI,
+    namespace: str = "le",
+    use_doorway: bool = True,
+    use_lists: bool = True,
+    sifter: str = "heterogeneous",
+) -> Iterator[Request]:
+    """Compete for leadership; returns ``Outcome.WIN`` or ``Outcome.LOSE``.
+
+    ``use_doorway`` exists for compositions that provide linearizability
+    externally; ``use_lists`` is threaded to the Heterogeneous PoisonPill
+    ablation (experiment E9); ``sifter`` selects the per-round sifting
+    phase (see :data:`SIFTERS`).
+    """
+    if sifter not in SIFTERS:
+        raise ValueError(f"unknown sifter {sifter!r}; expected one of {SIFTERS}")
+    if use_doorway:
+        if (yield from doorway(api, namespace)) is Outcome.LOSE:  # lines 63-64
+            return Outcome.LOSE
+    r = 1
+    while True:                                                   # line 65
+        outcome = yield from preround(api, r, namespace)          # line 66
+        if outcome in (Outcome.WIN, Outcome.LOSE):                # lines 67-68
+            return outcome
+        if sifter == "heterogeneous":
+            survived = yield from heterogeneous_poison_pill(
+                api, namespace=f"{namespace}.hpp{r}", use_lists=use_lists
+            )                                                     # line 69
+        else:
+            survived = yield from poison_pill(
+                api, namespace=f"{namespace}.hpp{r}"
+            )
+        if survived is Outcome.DIE:                               # line 70
+            return Outcome.LOSE
+        r += 1                                                    # line 71
+
+
+def make_leader_elect(
+    namespace: str = "le",
+    use_doorway: bool = True,
+    use_lists: bool = True,
+    sifter: str = "heterogeneous",
+) -> AlgorithmFactory:
+    """Factory adapter for :class:`~repro.sim.runtime.Simulation`."""
+
+    def factory(api: ProcessAPI):
+        return leader_elect(
+            api,
+            namespace=namespace,
+            use_doorway=use_doorway,
+            use_lists=use_lists,
+            sifter=sifter,
+        )
+
+    return factory

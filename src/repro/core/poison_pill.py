@@ -1,0 +1,78 @@
+"""The PoisonPill technique — Figure 1 of the paper.
+
+Each participant announces that it is *about to* flip a coin (state
+``Commit``), propagates that announcement to a quorum, flips a biased coin
+(1 with probability ``1/sqrt(n)``), propagates the resulting priority, and
+collects the status views of a quorum.  A low-priority processor dies iff
+it observes some processor that is committed or high-priority in some view
+and low-priority in none.
+
+The commit announcement is the "poison pill": to learn a processor's flip
+the adversary must first let it propagate ``Commit``, but that very
+announcement already kills any low-priority processor scheduled after it —
+the catch-22 that handicaps the adaptive adversary.
+
+Guarantees (proved in the paper, checked by our tests):
+
+* Claim 3.1 — if all participants return, at least one survives;
+* Claim 3.2 — at most ``O(sqrt(n))`` survivors in expectation, under any
+  adaptive schedule.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from ..sim.communicate import Collect, Propagate, Request
+from ..sim.process import AlgorithmFactory, ProcessAPI
+from .protocol import Outcome, PillState, status_var
+
+
+def default_bias(n: int) -> float:
+    """The paper's coin bias: heads (high priority) with prob ``1/sqrt(n)``."""
+    return 1.0 / math.sqrt(n) if n > 1 else 1.0
+
+
+def poison_pill(
+    api: ProcessAPI,
+    namespace: str = "pp",
+    bias: float | None = None,
+) -> Iterator[Request]:
+    """One PoisonPill phase; returns ``Outcome.SURVIVE`` or ``Outcome.DIE``.
+
+    ``bias`` overrides the high-priority probability — used by the E8
+    ablation to demonstrate that ``1/sqrt(n)`` is the optimal choice
+    (Section 3.2's matching lower bound for this technique).
+    """
+    var = status_var(namespace)
+    me = api.pid
+    api.put(var, me, PillState.COMMIT)                      # line 2
+    yield Propagate(var, (me,))                             # line 3
+    probability = default_bias(api.n) if bias is None else bias
+    coin = api.flip(probability, label=f"{namespace}.coin")  # line 4
+    api.put(var, me, PillState.LOW if coin == 0 else PillState.HIGH)  # 5-6
+    yield Propagate(var, (me,))                             # line 7
+    views = yield Collect(var)                              # line 8
+    if api.get(var, me) is PillState.LOW:                   # line 9
+        participants = {j for view in views for j in view}
+        for j in participants:                              # line 10
+            seen_strong = any(
+                view.get(j) in (PillState.COMMIT, PillState.HIGH) for view in views
+            )
+            seen_low = any(view.get(j) is PillState.LOW for view in views)
+            if seen_strong and not seen_low:
+                return Outcome.DIE                          # line 11
+    return Outcome.SURVIVE                                  # line 12
+
+
+def make_poison_pill(
+    namespace: str = "pp",
+    bias: float | None = None,
+) -> AlgorithmFactory:
+    """Factory adapter for :class:`~repro.sim.runtime.Simulation`."""
+
+    def factory(api: ProcessAPI):
+        return poison_pill(api, namespace=namespace, bias=bias)
+
+    return factory

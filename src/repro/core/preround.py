@@ -1,0 +1,42 @@
+"""The PreRound procedure — Figure 4 of the paper.
+
+Before participating in sifting round ``r``, a processor propagates ``r``
+as its current round number to a quorum, then collects round numbers from
+a quorum.  With ``R`` the largest round number observed *for any other
+processor*, the Saks-Shavit-Woll rule [SSW91] decides:
+
+* ``r < R``      — someone is strictly ahead: LOSE;
+* ``R < r - 1``  — everyone else is at least two rounds behind, and (by
+  quorum intersection) can never catch up without observing ``r`` first
+  and losing: WIN;
+* otherwise      — PROCEED to the round-``r`` sifting phase.
+
+Round numbers only grow, so the Round register uses max-merge.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..sim.communicate import Collect, Propagate, Request
+from ..sim.process import ProcessAPI
+from ..sim.registers import POLICY_MAX
+from .protocol import Outcome, round_var
+
+
+def preround(api: ProcessAPI, r: int, namespace: str = "le") -> Iterator[Request]:
+    """Announce round ``r``; returns WIN, LOSE, or PROCEED."""
+    var = round_var(namespace)
+    me = api.pid
+    api.put(var, me, r, policy=POLICY_MAX)          # line 45
+    yield Propagate(var, (me,))                     # line 46
+    views = yield Collect(var)                      # line 47
+    highest_other = max(
+        (value for view in views for pid, value in view.items() if pid != me),
+        default=0,
+    )                                               # line 48
+    if r < highest_other:                           # lines 49-50
+        return Outcome.LOSE
+    if highest_other < r - 1:                       # lines 51-52
+        return Outcome.WIN
+    return Outcome.PROCEED                          # line 53

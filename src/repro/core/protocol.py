@@ -1,0 +1,72 @@
+"""Shared vocabulary of the paper's protocols.
+
+Outcome and status enumerations used across the leader-election stack,
+plus the heterogeneous status record (priority + observed participant
+list) of Figure 2.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import NamedTuple
+
+
+class Outcome(Enum):
+    """Return values of the protocols in Figures 1-6."""
+
+    SURVIVE = "survive"
+    DIE = "die"
+    WIN = "win"
+    LOSE = "lose"
+    PROCEED = "proceed"
+
+
+class PillState(Enum):
+    """The status values of the PoisonPill technique (Figure 1).
+
+    A processor first *commits* to flipping (takes the poison pill), then
+    becomes low- or high-priority according to the flip.  The absent value
+    (a processor that never participated) is represented by the key simply
+    missing from the view.
+    """
+
+    COMMIT = "commit"
+    LOW = "low"
+    HIGH = "high"
+
+
+class HetStatus(NamedTuple):
+    """A Heterogeneous PoisonPill status: priority plus observed list.
+
+    ``members`` is the ``l`` list of Figure 2 — the participants whose
+    non-bottom status this processor observed right after committing.  It
+    rides along with every subsequent priority announcement so that
+    observers can compute the closed union ``L`` (Claim 3.3).
+    """
+
+    state: PillState
+    members: frozenset[int]
+
+
+def status_var(namespace: str) -> str:
+    """Register name of the Status array inside ``namespace``."""
+    return f"{namespace}.Status"
+
+
+def round_var(namespace: str) -> str:
+    """Register name of the Round array inside ``namespace``."""
+    return f"{namespace}.Round"
+
+
+def door_var(namespace: str) -> str:
+    """Register name of the doorway flag inside ``namespace``."""
+    return f"{namespace}.door"
+
+
+def contended_var(namespace: str) -> str:
+    """Register name of the renaming Contended array inside ``namespace``."""
+    return f"{namespace}.Contended"
+
+
+#: The single key under which the doorway flag is stored.
+DOOR_KEY = 0

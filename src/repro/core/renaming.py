@@ -1,0 +1,78 @@
+"""The strong-renaming algorithm — Figure 3 of the paper.
+
+Each processor repeatedly: collects contention information from a quorum,
+merges newly contended names into its view, propagates that view, picks a
+uniformly random name it still sees as uncontended, marks it contended,
+and competes for it in a per-name leader election.  Winning the election
+claims the name; losing triggers another iteration.
+
+The analysis (Section 4) treats this as a balls-into-bins process whose
+views are adversarially skewed, and still proves expected ``O(n^2)``
+messages (Theorem 4.2) and ``O(log^2 n)`` time (Theorem A.13).
+
+Names here are ``0 .. n-1`` (the paper's ``1 .. n`` shifted to Python
+indexing).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..sim.communicate import Collect, Propagate, Request
+from ..sim.process import AlgorithmFactory, ProcessAPI
+from ..sim.registers import POLICY_OR
+from .leader_elect import leader_elect
+from .protocol import Outcome, contended_var
+
+
+def get_name(api: ProcessAPI, namespace: str = "rn") -> Iterator[Request]:
+    """Acquire a unique name in ``0 .. n-1``; returns the name.
+
+    The per-name leader elections run in disjoint register namespaces
+    ``{namespace}.le{name}``; the shared ``Contended`` array uses sticky
+    OR-merge, so contention information never disappears (Lemma A.7's
+    premise).
+    """
+    var = contended_var(namespace)
+    iteration = 0
+    while True:                                                   # line 32
+        # Local-only observability (never propagated): iteration start and
+        # pick-time view, consumed by the Section 4 execution analyzer.
+        api.put(f"{namespace}.iter", (api.pid, iteration, "start"), True)
+        views = yield Collect(var)                                # line 33
+        for j in range(api.n):                                    # lines 34-36
+            if any(view.get(j, False) for view in views):
+                api.put(var, j, True, policy=POLICY_OR)
+        contended_now = tuple(j for j in range(api.n) if api.get(var, j, False))
+        yield Propagate(var, contended_now)                       # line 37
+        free = [j for j in range(api.n) if not api.get(var, j, False)]
+        if not free:
+            # Transiently possible only under crashes (a name whose every
+            # contender failed); retry — fresh contention info may free up
+            # nothing, but a destined win resolves elsewhere.  Cannot occur
+            # in crash-free executions (see tests).
+            iteration += 1
+            continue
+        spot = api.choice(free, label=f"{namespace}.spot")        # line 38
+        api.put(
+            f"{namespace}.iter",
+            (api.pid, iteration, "pick"),
+            (contended_now, spot),
+        )
+        iteration += 1
+        api.put(var, spot, True, policy=POLICY_OR)                # line 39
+        outcome = yield from leader_elect(
+            api, namespace=f"{namespace}.le{spot}"
+        )                                                         # line 40
+        yield Propagate(var, (spot,))                             # line 41
+        if outcome is Outcome.WIN:                                # lines 42-43
+            return spot
+
+
+def make_get_name(namespace: str = "rn") -> AlgorithmFactory:
+    """Factory adapter for :class:`~repro.sim.runtime.Simulation`."""
+
+    def factory(api: ProcessAPI):
+        return get_name(api, namespace=namespace)
+
+    return factory

@@ -1,0 +1,45 @@
+"""Experiment harness: workloads, runners, sweeps, and table rendering."""
+
+from .runners import (
+    LEADER_ALGORITHMS,
+    RENAMING_ALGORITHMS,
+    SIFTER_KINDS,
+    LeaderElectionRun,
+    RenamingRun,
+    SiftingRun,
+    make_adversary,
+    run_leader_election,
+    run_renaming,
+    run_sifting_phase,
+)
+from .sweep import SweepCell, cell_table, repeat, sweep
+from .tables import Table, render_series
+from .workloads import (
+    PARTICIPATION_PATTERNS,
+    choose_participants,
+    crash_schedule_eager,
+    crash_schedule_random,
+)
+
+__all__ = [
+    "LEADER_ALGORITHMS",
+    "PARTICIPATION_PATTERNS",
+    "RENAMING_ALGORITHMS",
+    "SIFTER_KINDS",
+    "LeaderElectionRun",
+    "RenamingRun",
+    "SiftingRun",
+    "SweepCell",
+    "Table",
+    "cell_table",
+    "choose_participants",
+    "crash_schedule_eager",
+    "crash_schedule_random",
+    "make_adversary",
+    "render_series",
+    "repeat",
+    "run_leader_election",
+    "run_renaming",
+    "run_sifting_phase",
+    "sweep",
+]

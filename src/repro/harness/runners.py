@@ -1,0 +1,296 @@
+"""High-level experiment runners: one call, one checked execution.
+
+These wrap the three moving parts — algorithm factory, adversary,
+simulation — behind task-shaped entry points that benchmarks, examples,
+and tests share.  Every runner validates the execution against the
+problem specification before returning, so a benchmark number can never
+come from a broken run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from ..adversary import ADVERSARY_FACTORIES, Adversary, CrashingAdversary
+from ..analysis.checkers import (
+    LeaderElectionReport,
+    check_leader_election,
+    check_renaming,
+    check_sifting_phase,
+)
+from ..core import (
+    Outcome,
+    make_get_name,
+    make_heterogeneous_poison_pill,
+    make_leader_elect,
+    make_poison_pill,
+)
+from ..core.baselines import (
+    make_linear_renaming,
+    make_naive_sifter,
+    make_tournament,
+)
+from ..sim.process import AlgorithmFactory
+from ..sim.runtime import Simulation, SimulationResult
+from .workloads import choose_participants
+
+LEADER_ALGORITHMS = ("poison_pill", "poison_pill_basic", "tournament")
+SIFTER_KINDS = ("poison_pill", "heterogeneous", "naive")
+RENAMING_ALGORITHMS = ("paper", "linear")
+
+
+def make_adversary(spec: str | Adversary, seed: int = 0) -> Adversary:
+    """Resolve an adversary spec: a registry name or a ready instance."""
+    if isinstance(spec, Adversary):
+        return spec
+    try:
+        return ADVERSARY_FACTORIES[spec](seed=seed)
+    except KeyError:
+        raise ValueError(
+            f"unknown adversary {spec!r}; known: {sorted(ADVERSARY_FACTORIES)}"
+        ) from None
+
+
+def _build_simulation(
+    n: int,
+    factory: AlgorithmFactory,
+    participants: Sequence[int],
+    adversary: str | Adversary,
+    seed: int,
+    crash_schedule: Sequence[tuple[int, int]] | None,
+    record_events: bool,
+    max_events: int | None,
+) -> Simulation:
+    scheduler = make_adversary(adversary, seed)
+    if crash_schedule:
+        scheduler = CrashingAdversary(scheduler, crash_schedule)
+    return Simulation(
+        n=n,
+        participants={pid: factory for pid in participants},
+        adversary=scheduler,
+        seed=seed,
+        record_events=record_events,
+        max_events=max_events,
+    )
+
+
+def _coin_rounds(result_sim: Simulation, label_fragment: str) -> int:
+    """Max per-processor count of coins whose label contains the fragment.
+
+    Each Heterogeneous PoisonPill round flips exactly one coin labelled
+    ``...hpp<r>.coin``, so this counts sifting rounds without tracing.
+    """
+    best = 0
+    for process in result_sim.processes:
+        count = sum(
+            1 for coin_label, _ in process.coins.all() if label_fragment in coin_label
+        )
+        best = max(best, count)
+    return best
+
+
+@dataclass(slots=True)
+class LeaderElectionRun:
+    """A checked leader-election execution plus its headline measurements."""
+
+    n: int
+    k: int
+    algorithm: str
+    adversary: str
+    seed: int
+    result: SimulationResult
+    report: LeaderElectionReport
+    rounds: int
+
+    @property
+    def winner(self) -> int | None:
+        return self.report.winner
+
+    @property
+    def max_comm_calls(self) -> int:
+        return self.result.metrics.max_comm_calls
+
+    @property
+    def messages_total(self) -> int:
+        return self.result.metrics.messages_total
+
+
+def run_leader_election(
+    n: int,
+    k: int | None = None,
+    algorithm: str = "poison_pill",
+    adversary: str | Adversary = "random",
+    seed: int = 0,
+    pattern: str = "first",
+    crash_schedule: Sequence[tuple[int, int]] | None = None,
+    record_events: bool = False,
+    max_events: int | None = None,
+    check: bool = True,
+) -> LeaderElectionRun:
+    """Run one leader election to completion and check it.
+
+    ``algorithm`` selects the paper's PoisonPill-based algorithm or the
+    [AGTV92] tournament baseline.
+    """
+    if algorithm == "poison_pill":
+        factory = make_leader_elect()
+    elif algorithm == "poison_pill_basic":
+        # The intermediate construction of Section 3.1: plain PoisonPill
+        # rounds, O(log log k)-flavoured instead of O(log* k).
+        factory = make_leader_elect(sifter="poison_pill")
+    elif algorithm == "tournament":
+        factory = make_tournament()
+    else:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; expected one of {LEADER_ALGORITHMS}"
+        )
+    participants = choose_participants(n, k, pattern, seed)
+    sim = _build_simulation(
+        n, factory, participants, adversary, seed, crash_schedule,
+        record_events, max_events,
+    )
+    result = sim.run(require_termination=check and not crash_schedule)
+    report = check_leader_election(result) if check else LeaderElectionReport(
+        winner=None, losers=(), crashed=tuple(result.crashed),
+        undecided=tuple(result.undecided),
+    )
+    adversary_name = adversary if isinstance(adversary, str) else adversary.name
+    return LeaderElectionRun(
+        n=n,
+        k=len(participants),
+        algorithm=algorithm,
+        adversary=adversary_name,
+        seed=seed,
+        result=result,
+        report=report,
+        rounds=_coin_rounds(sim, ".hpp"),
+    )
+
+
+@dataclass(slots=True)
+class SiftingRun:
+    """A checked single sifting phase plus its survivor count."""
+
+    n: int
+    k: int
+    kind: str
+    adversary: str
+    seed: int
+    result: SimulationResult
+    survivors: int
+
+    @property
+    def survivor_fraction(self) -> float:
+        return self.survivors / self.k if self.k else 0.0
+
+
+def run_sifting_phase(
+    n: int,
+    k: int | None = None,
+    kind: str = "heterogeneous",
+    adversary: str | Adversary = "random",
+    seed: int = 0,
+    pattern: str = "first",
+    bias: float | None = None,
+    use_lists: bool = True,
+    max_events: int | None = None,
+    check: bool = True,
+) -> SiftingRun:
+    """Run one sifting phase (PoisonPill / heterogeneous / naive)."""
+    if kind == "poison_pill":
+        factory = make_poison_pill(bias=bias)
+    elif kind == "heterogeneous":
+        factory = make_heterogeneous_poison_pill(use_lists=use_lists)
+    elif kind == "naive":
+        factory = make_naive_sifter(bias=bias)
+    else:
+        raise ValueError(f"unknown sifter {kind!r}; expected one of {SIFTER_KINDS}")
+    participants = choose_participants(n, k, pattern, seed)
+    sim = _build_simulation(
+        n, factory, participants, adversary, seed, None, False, max_events
+    )
+    result = sim.run()
+    survivors = check_sifting_phase(result) if check else sum(
+        1 for d in result.decisions.values() if d.result is Outcome.SURVIVE
+    )
+    adversary_name = adversary if isinstance(adversary, str) else adversary.name
+    return SiftingRun(
+        n=n,
+        k=len(participants),
+        kind=kind,
+        adversary=adversary_name,
+        seed=seed,
+        result=result,
+        survivors=survivors,
+    )
+
+
+@dataclass(slots=True)
+class RenamingRun:
+    """A checked renaming execution plus its headline measurements."""
+
+    n: int
+    k: int
+    algorithm: str
+    adversary: str
+    seed: int
+    result: SimulationResult
+    names: Mapping[int, Any]
+    max_trials: int
+
+    @property
+    def max_comm_calls(self) -> int:
+        return self.result.metrics.max_comm_calls
+
+    @property
+    def messages_total(self) -> int:
+        return self.result.metrics.messages_total
+
+
+def run_renaming(
+    n: int,
+    k: int | None = None,
+    algorithm: str = "paper",
+    adversary: str | Adversary = "random",
+    seed: int = 0,
+    pattern: str = "first",
+    crash_schedule: Sequence[tuple[int, int]] | None = None,
+    max_events: int | None = None,
+    check: bool = True,
+) -> RenamingRun:
+    """Run one renaming execution to completion and check it."""
+    if algorithm == "paper":
+        factory = make_get_name()
+        spot_label = "rn.spot"
+    elif algorithm == "linear":
+        factory = make_linear_renaming()
+        spot_label = "lr.spot"
+    else:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; expected one of {RENAMING_ALGORITHMS}"
+        )
+    participants = choose_participants(n, k, pattern, seed)
+    sim = _build_simulation(
+        n, factory, participants, adversary, seed, crash_schedule, False, max_events
+    )
+    result = sim.run(require_termination=check and not crash_schedule)
+    names = check_renaming(result) if check else dict(result.outcomes)
+    max_trials = max(
+        (
+            sum(1 for label, _ in process.coins.all() if spot_label in label)
+            for process in sim.processes
+        ),
+        default=0,
+    )
+    adversary_name = adversary if isinstance(adversary, str) else adversary.name
+    return RenamingRun(
+        n=n,
+        k=len(participants),
+        algorithm=algorithm,
+        adversary=adversary_name,
+        seed=seed,
+        result=result,
+        names=names,
+        max_trials=max_trials,
+    )

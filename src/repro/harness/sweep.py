@@ -1,0 +1,75 @@
+"""Parameter sweeps with seed fan-out and aggregation.
+
+A sweep runs a measurement function over a grid of parameter values,
+``repeats`` times per value with derived seeds, and aggregates each cell
+into a :class:`~repro.analysis.stats.Summary`.  Benchmarks use sweeps for
+every table: one row per parameter value, one column per measured metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generic, Hashable, Iterable, Mapping, Sequence, TypeVar
+
+from ..analysis.stats import Summary, summarize
+from ..sim.rng import derive_seed
+
+P = TypeVar("P", bound=Hashable)
+R = TypeVar("R")
+
+
+@dataclass(frozen=True, slots=True)
+class SweepCell(Generic[P, R]):
+    """All repetitions of one parameter value."""
+
+    param: P
+    runs: tuple[R, ...]
+
+    def metric(self, extract: Callable[[R], float]) -> Summary:
+        """Summarize one metric across the cell's repetitions."""
+        return summarize(extract(run) for run in self.runs)
+
+
+def repeat(
+    fn: Callable[[int], R],
+    repeats: int,
+    seed_base: int = 0,
+    label: str = "repeat",
+) -> list[R]:
+    """Run ``fn(seed)`` with ``repeats`` independent derived seeds."""
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    return [fn(derive_seed(seed_base, f"{label}/{i}")) for i in range(repeats)]
+
+
+def sweep(
+    values: Iterable[P],
+    fn: Callable[[P, int], R],
+    repeats: int = 5,
+    seed_base: int = 0,
+) -> list[SweepCell[P, R]]:
+    """Run ``fn(value, seed)`` over the grid; returns one cell per value."""
+    cells = []
+    for value in values:
+        runs = repeat(
+            lambda seed, v=value: fn(v, seed),
+            repeats=repeats,
+            seed_base=seed_base,
+            label=f"sweep/{value!r}",
+        )
+        cells.append(SweepCell(param=value, runs=tuple(runs)))
+    return cells
+
+
+def cell_table(
+    cells: Sequence[SweepCell[P, R]],
+    metrics: Mapping[str, Callable[[R], float]],
+) -> list[dict[str, object]]:
+    """Flatten sweep cells into row dicts: param plus one Summary per metric."""
+    rows: list[dict[str, object]] = []
+    for cell in cells:
+        row: dict[str, object] = {"param": cell.param}
+        for name, extract in metrics.items():
+            row[name] = cell.metric(extract)
+        rows.append(row)
+    return rows

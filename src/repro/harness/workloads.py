@@ -1,0 +1,75 @@
+"""Workload generators: who participates, and who crashes when.
+
+The paper's adaptive bounds are stated in terms of ``k``, the number of
+*participants* out of ``n`` processors, so benchmark workloads vary both
+numbers independently.  Crash schedules express failure injection as
+``(at_event, pid)`` pairs consumed by
+:class:`~repro.adversary.crash.CrashingAdversary`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..sim.rng import make_stream
+
+PARTICIPATION_PATTERNS = ("first", "random", "spread", "last")
+
+
+def choose_participants(
+    n: int,
+    k: int | None = None,
+    pattern: str = "first",
+    seed: int = 0,
+) -> list[int]:
+    """Pick ``k`` participant pids out of ``n`` processors.
+
+    * ``first``  — pids ``0 .. k-1`` (the deterministic default);
+    * ``last``   — pids ``n-k .. n-1`` (participants far from responders);
+    * ``spread`` — evenly spaced pids (participants interleaved with
+      responders, stressing quorum composition);
+    * ``random`` — a uniform ``k``-subset drawn from ``seed``.
+    """
+    if k is None:
+        k = n
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be within [1, {n}], got {k}")
+    if pattern == "first":
+        return list(range(k))
+    if pattern == "last":
+        return list(range(n - k, n))
+    if pattern == "spread":
+        return sorted({(i * n) // k for i in range(k)})
+    if pattern == "random":
+        rng = make_stream(seed, "workload/participants")
+        return sorted(rng.sample(range(n), k))
+    raise ValueError(
+        f"unknown pattern {pattern!r}; expected one of {PARTICIPATION_PATTERNS}"
+    )
+
+
+def crash_schedule_random(
+    n: int,
+    crashes: int,
+    seed: int = 0,
+    max_event: int = 10_000,
+    avoid: Sequence[int] = (),
+) -> list[tuple[int, int]]:
+    """Random ``(at_event, pid)`` crash schedule avoiding ``avoid`` pids.
+
+    The number of crashes is clamped to the model's ``ceil(n/2) - 1``
+    budget so generated workloads are always admissible.
+    """
+    budget = (n + 1) // 2 - 1
+    crashes = min(crashes, budget)
+    rng = make_stream(seed, "workload/crashes")
+    candidates = [pid for pid in range(n) if pid not in set(avoid)]
+    if crashes > len(candidates):
+        crashes = len(candidates)
+    victims = rng.sample(candidates, crashes) if crashes else []
+    return sorted((rng.randrange(1, max_event), pid) for pid in victims)
+
+
+def crash_schedule_eager(pids: Sequence[int]) -> list[tuple[int, int]]:
+    """Crash the given pids immediately (before any protocol progress)."""
+    return [(0, pid) for pid in pids]

@@ -1,0 +1,17 @@
+"""Shared-memory emulation over message passing ([ABND95]).
+
+Atomic registers implemented with quorum operations, plus the
+shared-memory rendition of the tournament baseline — the combination the
+paper's Related Work describes for deploying shared-memory algorithms in
+the message-passing model.
+"""
+
+from .abd import AtomicRegister, Stamped
+from .tournament import make_register_tournament, register_tournament
+
+__all__ = [
+    "AtomicRegister",
+    "Stamped",
+    "make_register_tournament",
+    "register_tournament",
+]

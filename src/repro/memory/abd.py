@@ -1,0 +1,116 @@
+"""Atomic registers over message passing — the ABD emulation [ABND95].
+
+The paper's Related Work leans on the classic result of Attiya, Bar-Noy
+and Dolev: shared-memory algorithms can be run in message passing by
+emulating each atomic register with quorum reads/writes, preserving time
+complexity at the cost of ``Theta(n)`` messages per register operation.
+This module provides that emulation on the same ``communicate``
+substrate the rest of the library uses, so shared-memory baselines (the
+register-based tournament of :mod:`repro.memory.tournament`) run under
+identical adversaries and metrics.
+
+A register value carries a ``(sequence, writer)`` timestamp; reconciling
+by maximum timestamp makes the cell a monotone join, and the standard
+two-phase protocols give linearizability:
+
+* ``write``: collect timestamps from a quorum, then propagate the value
+  stamped one above the largest seen;
+* ``read``: collect values from a quorum, pick the largest stamp, then
+  *write back* that value to a quorum before returning it (the write-back
+  is what prevents new-old inversion between non-overlapping reads).
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Iterator
+
+from ..sim.communicate import Collect, Propagate, Request
+from ..sim.process import ProcessAPI
+from ..sim.registers import POLICY_MAX
+
+#: The single key under which a register's cell is stored.
+_CELL = 0
+
+
+@functools.total_ordering
+class Stamped:
+    """A register value with its ``(sequence, writer)`` timestamp.
+
+    Ordering compares timestamps only: two writes never share a stamp
+    (sequence ties are broken by writer id), and equal stamps imply the
+    identical write, so the payload never participates in comparisons.
+    """
+
+    __slots__ = ("sequence", "writer", "value")
+
+    def __init__(self, sequence: int, writer: int, value: Any) -> None:
+        self.sequence = sequence
+        self.writer = writer
+        self.value = value
+
+    def _stamp(self) -> tuple[int, int]:
+        return (self.sequence, self.writer)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Stamped) and self._stamp() == other._stamp()
+
+    def __lt__(self, other: "Stamped") -> bool:
+        return self._stamp() < other._stamp()
+
+    def __hash__(self) -> int:
+        return hash(self._stamp())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Stamped(seq={self.sequence}, writer={self.writer}, value={self.value!r})"
+
+
+class AtomicRegister:
+    """A multi-writer multi-reader atomic register named ``name``.
+
+    Operations are generators (like everything protocol-level in this
+    library): drive them with ``yield from`` inside an algorithm
+    coroutine.  Each operation performs exactly two ``communicate``
+    calls, so emulation preserves time complexity up to a factor of two
+    per shared-memory step.
+    """
+
+    __slots__ = ("name", "_var", "_default")
+
+    def __init__(self, name: str, default: Any = None) -> None:
+        self.name = name
+        self._var = f"abd.{name}"
+        self._default = default
+
+    def _best(self, api: ProcessAPI, views) -> Stamped | None:
+        best: Stamped | None = None
+        for view in views:
+            stamped = view.get(_CELL)
+            if stamped is not None and (best is None or best < stamped):
+                best = stamped
+        own = api.get(self._var, _CELL)
+        if own is not None and (best is None or best < own):
+            best = own
+        return best
+
+    def read(self, api: ProcessAPI) -> Iterator[Request]:
+        """Linearizable read; returns the register value (or the default)."""
+        views = yield Collect(self._var)
+        best = self._best(api, views)
+        if best is None:
+            return self._default
+        # Write-back: make the value we are about to return visible to a
+        # quorum, so any later read sees at least this stamp.
+        api.put(self._var, _CELL, best, policy=POLICY_MAX)
+        yield Propagate(self._var, (_CELL,))
+        return best.value
+
+    def write(self, api: ProcessAPI, value: Any) -> Iterator[Request]:
+        """Linearizable write of ``value``; returns the stamp used."""
+        views = yield Collect(self._var)
+        best = self._best(api, views)
+        sequence = (best.sequence if best is not None else 0) + 1
+        stamped = Stamped(sequence, api.pid, value)
+        api.put(self._var, _CELL, stamped, policy=POLICY_MAX)
+        yield Propagate(self._var, (_CELL,))
+        return stamped

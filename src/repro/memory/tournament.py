@@ -1,0 +1,92 @@
+"""The tournament baseline as a *shared-memory* algorithm over ABD registers.
+
+This is the closest executable rendering of the baseline the paper
+actually cites: [AGTV92] is a shared-memory construction, deployed in
+message passing through the register emulation of [ABND95] ("This
+preserves time complexity, but communication may be increased...").
+Every inter-processor interaction below is an atomic register read or
+write; the network only appears through :mod:`repro.memory.abd`.
+
+A match between the two sides of a bracket node runs the round race:
+
+* each side owns a round register; write your round, read the other's —
+  two ahead wins, two behind loses (the [SSW91] rule);
+* on a tie, a register-based poison-pill round breaks it: commit to your
+  per-round status register, read the opponent's, flip (certainly-high
+  if the opponent is invisible, fair otherwise), publish the priority,
+  read the opponent once more, and die if you are low while the opponent
+  is committed or high.  Atomicity of the registers guarantees at least
+  one survivor: the later reader always sees the earlier low-priority
+  write.
+
+A solo contender (bye) wins after two rounds via the round race — no
+bye detection needed, as in the native tournament.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core.baselines.tournament import bracket_levels
+from ..core.protocol import Outcome
+from ..sim.communicate import Request
+from ..sim.process import AlgorithmFactory, ProcessAPI
+from .abd import AtomicRegister
+
+_COMMIT = "commit"
+_LOW = "low"
+_HIGH = "high"
+
+
+def _register_match(
+    api: ProcessAPI, namespace: str, side: int
+) -> Iterator[Request]:
+    """Decide one bracket match through registers only; WIN or LOSE."""
+    mine = AtomicRegister(f"{namespace}.round{side}", default=0)
+    theirs = AtomicRegister(f"{namespace}.round{1 - side}", default=0)
+    r = 1
+    while True:
+        yield from mine.write(api, r)
+        other_round = yield from theirs.read(api)
+        if r < other_round:
+            return Outcome.LOSE
+        if other_round < r - 1:
+            return Outcome.WIN
+        # Tie: register-based poison pill for two contenders.
+        my_status = AtomicRegister(f"{namespace}.s{side}.r{r}")
+        other_status = AtomicRegister(f"{namespace}.s{1 - side}.r{r}")
+        yield from my_status.write(api, _COMMIT)
+        observed = yield from other_status.read(api)
+        probability = 1.0 if observed is None else 0.5
+        coin = api.flip(probability, label=f"{namespace}.match.r{r}")
+        priority = _HIGH if coin == 1 else _LOW
+        yield from my_status.write(api, priority)
+        observed = yield from other_status.read(api)
+        if priority == _LOW and observed in (_COMMIT, _HIGH):
+            return Outcome.LOSE
+        r += 1
+
+
+def register_tournament(
+    api: ProcessAPI, namespace: str = "smt"
+) -> Iterator[Request]:
+    """Compete through the bracket using registers only; WIN or LOSE."""
+    index = api.pid
+    for level in range(bracket_levels(api.n)):
+        side = index % 2
+        index //= 2
+        outcome = yield from _register_match(
+            api, f"{namespace}.L{level}.M{index}", side
+        )
+        if outcome is Outcome.LOSE:
+            return Outcome.LOSE
+    return Outcome.WIN
+
+
+def make_register_tournament(namespace: str = "smt") -> AlgorithmFactory:
+    """Factory adapter for :class:`~repro.sim.runtime.Simulation`."""
+
+    def factory(api: ProcessAPI):
+        return register_tournament(api, namespace=namespace)
+
+    return factory

@@ -1,0 +1,108 @@
+"""Per-processor register views with explicit merge policies.
+
+Every named variable (``Status``, ``Round``, ``door``, ``Contended``, ...)
+is a map from keys to values.  A processor holds its own *view* of each
+variable; views are reconciled when PROPAGATE or COLLECT_REPLY messages
+arrive.  Three merge policies cover every variable in the paper:
+
+* ``VERSION`` — single-writer cells (a processor's own ``Status[i]`` or
+  ``Round[i]``): the writer stamps each write with an increasing version,
+  and receivers keep the highest version seen.  Because only the owner
+  writes the cell, versions totally order its writes.
+* ``OR`` — sticky booleans written by anyone (``door``, ``Contended[j]``):
+  once true, always true.
+* ``MAX`` — monotone integers written by anyone; the maximum wins.
+
+These policies make every variable in the paper a monotone join
+semilattice, so merging is order-insensitive — exactly the property the
+quorum-intersection arguments (Claims 3.1, 3.4, Lemma A.2) rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Mapping
+
+POLICY_VERSION = "v"
+POLICY_OR = "o"
+POLICY_MAX = "m"
+
+_POLICIES = frozenset({POLICY_VERSION, POLICY_OR, POLICY_MAX})
+
+Entry = tuple[int, Any, str]  # (version, value, policy)
+
+
+def merge_entry(current: Entry | None, incoming: Entry) -> Entry:
+    """Combine two entries for the same key according to their policy."""
+    if current is None:
+        return incoming
+    version, value, policy = incoming
+    cur_version, cur_value, cur_policy = current
+    if policy != cur_policy:
+        raise ValueError(f"conflicting merge policies: {cur_policy!r} vs {policy!r}")
+    if policy == POLICY_VERSION:
+        return incoming if version > cur_version else current
+    if policy == POLICY_OR:
+        return (max(version, cur_version), bool(cur_value) or bool(value), policy)
+    if policy == POLICY_MAX:
+        merged = cur_value if cur_value >= value else value
+        return (max(version, cur_version), merged, policy)
+    raise ValueError(f"unknown merge policy: {policy!r}")
+
+
+class RegisterFile:
+    """One processor's view of every shared variable.
+
+    The structure is ``{var: {key: (version, value, policy)}}``.  Keys are
+    processor ids for per-processor cells and name indices for the renaming
+    algorithm's ``Contended`` array.
+    """
+
+    __slots__ = ("_vars", "_write_clocks")
+
+    def __init__(self) -> None:
+        self._vars: dict[str, dict[Hashable, Entry]] = {}
+        self._write_clocks: dict[tuple[str, Hashable], int] = {}
+
+    def put(self, var: str, key: Hashable, value: Any, policy: str = POLICY_VERSION) -> None:
+        """Perform a local write, bumping the writer-side version."""
+        if policy not in _POLICIES:
+            raise ValueError(f"unknown merge policy: {policy!r}")
+        clock_key = (var, key)
+        version = self._write_clocks.get(clock_key, 0) + 1
+        self._write_clocks[clock_key] = version
+        cells = self._vars.setdefault(var, {})
+        cells[key] = merge_entry(cells.get(key), (version, value, policy))
+
+    def get(self, var: str, key: Hashable, default: Any = None) -> Any:
+        """Read the value stored under ``var[key]``, or ``default``."""
+        entry = self._vars.get(var, {}).get(key)
+        return default if entry is None else entry[1]
+
+    def has(self, var: str, key: Hashable) -> bool:
+        """True iff this view holds an entry for ``var[key]``."""
+        return key in self._vars.get(var, {})
+
+    def keys(self, var: str) -> Iterable[Hashable]:
+        """The keys present in this view of ``var``."""
+        return self._vars.get(var, {}).keys()
+
+    def view(self, var: str) -> dict[Hashable, Any]:
+        """A plain ``{key: value}`` snapshot of one variable."""
+        return {key: entry[1] for key, entry in self._vars.get(var, {}).items()}
+
+    def entries(self, var: str, keys: Iterable[Hashable] | None = None) -> dict[Hashable, Entry]:
+        """Raw entries for transmission; restricted to ``keys`` if given."""
+        cells = self._vars.get(var, {})
+        if keys is None:
+            return dict(cells)
+        return {key: cells[key] for key in keys if key in cells}
+
+    def merge(self, var: str, incoming: Mapping[Hashable, Entry]) -> None:
+        """Reconcile received entries into this view."""
+        cells = self._vars.setdefault(var, {})
+        for key, entry in incoming.items():
+            cells[key] = merge_entry(cells.get(key), entry)
+
+    def variables(self) -> Iterable[str]:
+        """Names of all variables this view has entries for."""
+        return self._vars.keys()

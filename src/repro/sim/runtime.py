@@ -1,0 +1,409 @@
+"""The discrete-event simulation of the asynchronous message-passing model.
+
+The simulation advances one *action* at a time, and the adversary picks
+every action.  The enabled actions at any moment are exactly those of the
+paper's model (Section 2):
+
+* ``Deliver(message)`` — a delivery step: the message reaches its
+  recipient, which (if non-faulty) processes it immediately — merging
+  PROPAGATE entries and sending the ACK / COLLECT_REPLY, or recording an
+  incoming acknowledgement against its outstanding ``communicate`` call.
+  Every processor services requests this way, participant or not, decided
+  or not: the model's standing assumption that non-faulty processors
+  always assist.
+* ``Step(pid)`` — a computation step of the *algorithm*: starts the
+  participant's coroutine, or resumes it when its outstanding
+  ``communicate`` call has reached its quorum.
+* ``Crash(pid)`` — fail a processor, up to ``ceil(n/2) - 1`` in total.
+  Crashed processors never reply again; messages addressed to them may
+  still be delivered but vanish.
+
+Splitting "service a message" (delivery) from "advance the protocol"
+(step) is what lets the adversary run participants one at a time through a
+whole PoisonPill phase while everyone else merely acknowledges — the
+sequential attack of Section 3.2.  The adversary also gets full read
+access to local state including coin-flip logs, so it realizes the
+paper's strong adaptive adversary exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Mapping
+
+from .communicate import Collect, PendingCall, Propagate
+from .errors import (
+    AdversaryProtocolError,
+    CrashBudgetError,
+    ProcessProtocolError,
+    QuiescenceError,
+    SimulationLimitError,
+)
+from .messages import InFlightPool, Message, MessageKind
+from .process import AlgorithmFactory, Process, ProcessStatus
+from .rng import make_stream
+from .trace import Metrics, Trace
+
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..adversary.base import Adversary
+
+
+@dataclass(frozen=True, slots=True)
+class Deliver:
+    message: Message
+
+
+@dataclass(frozen=True, slots=True)
+class Step:
+    pid: int
+
+
+@dataclass(frozen=True, slots=True)
+class Crash:
+    pid: int
+
+
+Action = Deliver | Step | Crash
+
+
+@dataclass(slots=True)
+class Decision:
+    """A participant's recorded invocation/response interval and result."""
+
+    pid: int
+    result: Any
+    start_time: int
+    decide_time: int
+
+
+@dataclass(slots=True)
+class SimulationResult:
+    """Everything a caller needs after a run: outcomes, metrics, trace."""
+
+    n: int
+    decisions: dict[int, Decision]
+    metrics: Metrics
+    trace: Trace
+    undecided: frozenset[int]
+    crashed: frozenset[int]
+    start_times: dict[int, int]
+
+    @property
+    def outcomes(self) -> dict[int, Any]:
+        return {pid: decision.result for pid, decision in self.decisions.items()}
+
+    @property
+    def terminated(self) -> bool:
+        """True iff every non-crashed participant returned."""
+        return not self.undecided
+
+
+class Simulation:
+    """One execution of ``n`` processors under a chosen adversary.
+
+    ``participants`` maps processor ids to algorithm coroutine factories;
+    all other processors are pure responders, which still reply to
+    PROPAGATE/COLLECT traffic (the model requires all non-faulty
+    processors to assist, even non-participants).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        participants: Mapping[int, AlgorithmFactory],
+        adversary: "Adversary",
+        seed: int = 0,
+        crash_budget: int | None = None,
+        record_events: bool = False,
+        max_events: int | None = None,
+    ) -> None:
+        if n < 1:
+            raise ValueError("need at least one processor")
+        for pid in participants:
+            if not 0 <= pid < n:
+                raise ValueError(f"participant pid {pid} out of range [0, {n})")
+        self.n = n
+        self.seed = seed
+        self.adversary = adversary
+        self.crash_budget = (n + 1) // 2 - 1 if crash_budget is None else crash_budget
+        self.processes: list[Process] = [
+            Process(pid, n, make_stream(seed, f"proc/{pid}"), participants.get(pid))
+            for pid in range(n)
+        ]
+        self.in_flight = InFlightPool()
+        self.metrics = Metrics(n)
+        self.trace = Trace(enabled=record_events)
+        self.clock = 0
+        self.max_events = max_events if max_events is not None else 100_000 + 1_000 * n * n
+        self._call_counter = 0
+        self._needs_step: set[int] = set(participants)
+        self._undecided: set[int] = set(participants)
+        self._crashed: set[int] = set()
+        self._start_times: dict[int, int] = {}
+        if record_events:
+            for process in self.processes:
+                process.put_hook = self._make_put_hook(process.pid)
+
+    def _make_put_hook(self, pid: int):
+        def hook(var, key, value):
+            self.trace.record(self.clock, "put", pid, (var, key, value))
+
+        return hook
+
+    # ------------------------------------------------------------------
+    # Adversary-facing inspection API
+    # ------------------------------------------------------------------
+
+    @property
+    def steppable(self) -> set[int]:
+        """Pids for which a Step action would make progress right now.
+
+        A participant is steppable when it has not started yet, or when its
+        outstanding ``communicate`` call has already reached its quorum.
+        The returned set is live; adversaries must not mutate it.
+        """
+        return self._needs_step
+
+    @property
+    def crashed(self) -> frozenset[int]:
+        return frozenset(self._crashed)
+
+    @property
+    def undecided(self) -> frozenset[int]:
+        """Alive participants that have not yet returned."""
+        return frozenset(self._undecided)
+
+    @property
+    def crashes_remaining(self) -> int:
+        return self.crash_budget - len(self._crashed)
+
+    def process(self, pid: int) -> Process:
+        """The runtime state of processor ``pid`` (adversaries may read it)."""
+        return self.processes[pid]
+
+    def has_enabled_action(self) -> bool:
+        """True iff a delivery or a useful step is currently possible."""
+        return bool(self.in_flight) or bool(self._needs_step)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self, require_termination: bool = True) -> SimulationResult:
+        """Drive the simulation until all alive participants decide.
+
+        Raises :class:`SimulationLimitError` if the event budget runs out
+        and :class:`QuiescenceError` (when ``require_termination``) if the
+        system goes quiet with undecided participants — the expected
+        outcome when more than ``ceil(n/2) - 1`` processors were crashed.
+        """
+        self.adversary.setup(self)
+        while self._undecided:
+            if self.metrics.events_executed >= self.max_events:
+                raise SimulationLimitError(
+                    f"exceeded {self.max_events} events with "
+                    f"{len(self._undecided)} undecided participants"
+                )
+            action = self.adversary.choose(self)
+            if action is None:
+                if self.has_enabled_action():
+                    raise AdversaryProtocolError(
+                        "adversary passed while actions were still enabled"
+                    )
+                break
+            self.execute(action)
+        if require_termination and self._undecided:
+            raise QuiescenceError(
+                f"participants {sorted(self._undecided)} never decided"
+            )
+        return self._result()
+
+    def execute(self, action: Action) -> None:
+        """Apply one adversary-chosen action."""
+        self.metrics.events_executed += 1
+        self.clock += 1
+        if isinstance(action, Deliver):
+            self._deliver(action.message)
+        elif isinstance(action, Step):
+            self._step(action.pid)
+        elif isinstance(action, Crash):
+            self._crash(action.pid)
+        else:
+            raise AdversaryProtocolError(f"unknown action: {action!r}")
+
+    def _result(self) -> SimulationResult:
+        decisions = {}
+        for process in self.processes:
+            if process.decided:
+                assert process.decide_time is not None
+                decisions[process.pid] = Decision(
+                    pid=process.pid,
+                    result=process.result,
+                    start_time=self._start_times[process.pid],
+                    decide_time=process.decide_time,
+                )
+        return SimulationResult(
+            n=self.n,
+            decisions=decisions,
+            metrics=self.metrics,
+            trace=self.trace,
+            undecided=frozenset(self._undecided),
+            crashed=frozenset(self._crashed),
+            start_times=dict(self._start_times),
+        )
+
+    # ------------------------------------------------------------------
+    # Action semantics
+    # ------------------------------------------------------------------
+
+    def _deliver(self, message: Message) -> None:
+        self.in_flight.remove(message)
+        self.metrics.deliveries += 1
+        recipient = self.processes[message.recipient]
+        self.trace.record(self.clock, "deliver", message.recipient, message)
+        if recipient.status is ProcessStatus.CRASHED:
+            return  # delivered into the void; faulty processors never reply
+        if message.kind is MessageKind.PROPAGATE:
+            assert message.entries is not None
+            recipient.registers.merge(message.var, message.entries)
+            self._send(
+                recipient,
+                Message(
+                    sender=recipient.pid,
+                    recipient=message.sender,
+                    kind=MessageKind.ACK,
+                    call_id=message.call_id,
+                    var=message.var,
+                ),
+            )
+        elif message.kind is MessageKind.COLLECT:
+            self._send(
+                recipient,
+                Message(
+                    sender=recipient.pid,
+                    recipient=message.sender,
+                    kind=MessageKind.COLLECT_REPLY,
+                    call_id=message.call_id,
+                    var=message.var,
+                    entries=recipient.registers.entries(message.var),
+                ),
+            )
+        else:
+            self._record_reply(recipient, message)
+
+    def _record_reply(self, process: Process, message: Message) -> None:
+        pending = process.pending
+        if pending is None or pending.call_id != message.call_id:
+            return  # stale acknowledgement for an already-resolved call
+        if message.kind is MessageKind.ACK and isinstance(pending.request, Propagate):
+            pending.acks += 1
+        elif message.kind is MessageKind.COLLECT_REPLY and isinstance(
+            pending.request, Collect
+        ):
+            assert message.entries is not None and pending.views is not None
+            pending.acks += 1
+            pending.views.append(
+                {key: entry[1] for key, entry in message.entries.items()}
+            )
+        if pending.satisfied and process.status is ProcessStatus.RUNNING:
+            self._needs_step.add(process.pid)
+
+    def _step(self, pid: int) -> None:
+        process = self.processes[pid]
+        if process.status is ProcessStatus.CRASHED:
+            raise AdversaryProtocolError(f"cannot step crashed processor {pid}")
+        self.metrics.steps += 1
+        process.steps_taken += 1
+        self.trace.record(self.clock, "step", pid)
+        if process.status is ProcessStatus.IDLE:
+            self._start_times[pid] = self.clock
+            self.trace.record(self.clock, "start", pid)
+            process.start()
+            self._advance(process, None)
+        while (
+            process.status is ProcessStatus.RUNNING
+            and process.pending is not None
+            and process.pending.satisfied
+        ):
+            pending, process.pending = process.pending, None
+            self._advance(process, pending.result())
+        self._needs_step.discard(pid)
+
+    def _crash(self, pid: int) -> None:
+        if self.crashes_remaining <= 0:
+            raise CrashBudgetError(
+                f"crash budget {self.crash_budget} exhausted; cannot crash {pid}"
+            )
+        process = self.processes[pid]
+        if process.status is ProcessStatus.CRASHED:
+            raise AdversaryProtocolError(f"processor {pid} is already crashed")
+        process.status = ProcessStatus.CRASHED
+        self._crashed.add(pid)
+        self._needs_step.discard(pid)
+        self._undecided.discard(pid)
+        self.metrics.crashes += 1
+        self.trace.record(self.clock, "crash", pid)
+
+    # ------------------------------------------------------------------
+    # Coroutine advancement
+    # ------------------------------------------------------------------
+
+    def _advance(self, process: Process, send_value: Any) -> None:
+        assert process.coroutine is not None
+        try:
+            request = process.coroutine.send(send_value)
+        except StopIteration as stop:
+            process.status = ProcessStatus.DONE
+            process.result = stop.value
+            process.decide_time = self.clock
+            process.pending = None
+            self._undecided.discard(process.pid)
+            self.trace.record(self.clock, "decide", process.pid, stop.value)
+            return
+        if not isinstance(request, (Propagate, Collect)):
+            raise ProcessProtocolError(
+                f"processor {process.pid} yielded {request!r}; expected a "
+                "Propagate or Collect request"
+            )
+        self._issue_communicate(process, request)
+
+    def _issue_communicate(self, process: Process, request: Propagate | Collect) -> None:
+        self._call_counter += 1
+        call_id = self._call_counter
+        process.comm_calls += 1
+        self.metrics.record_comm_call(process.pid)
+        self.trace.record(self.clock, "comm", process.pid, request)
+        needed_remote = self.n // 2  # quorum = floor(n/2) + 1, counting self
+        pending = PendingCall(call_id=call_id, request=request, needed=needed_remote)
+        if isinstance(request, Propagate):
+            entries = process.registers.entries(request.var, request.keys)
+            kind = MessageKind.PROPAGATE
+        else:
+            entries = None
+            pending.views = [process.registers.view(request.var)]
+            kind = MessageKind.COLLECT
+        process.pending = pending
+        for recipient in range(self.n):
+            if recipient == process.pid:
+                continue
+            self._send(
+                process,
+                Message(
+                    sender=process.pid,
+                    recipient=recipient,
+                    kind=kind,
+                    call_id=call_id,
+                    var=request.var,
+                    entries=entries,
+                ),
+            )
+        if pending.satisfied:
+            # Degenerate quorums (n == 1): resolvable without remote acks.
+            self._needs_step.add(process.pid)
+
+    def _send(self, sender: Process, message: Message) -> None:
+        sender.messages_sent += 1
+        cells = len(message.entries) if message.entries is not None else 0
+        self.metrics.record_send(sender.pid, message.kind, cells)
+        self.in_flight.add(message)

@@ -1,0 +1,111 @@
+"""Execution metrics and (optional) event tracing.
+
+``Metrics`` aggregates exactly the quantities the paper's complexity
+theorems are stated in:
+
+* message complexity — total messages sent, including acknowledgements;
+* time complexity — via Claim 2.1, the maximum number of ``communicate``
+  calls performed by any single processor;
+
+plus per-processor breakdowns used by the benchmark tables.  The optional
+event log records every scheduling decision for debugging and for the
+linearizability checker, which needs invocation/response ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from .messages import MessageKind
+
+
+@dataclass(slots=True)
+class TraceEvent:
+    """One scheduling decision, stamped with a global logical time."""
+
+    time: int
+    kind: str  # "start" | "step" | "deliver" | "crash" | "decide" | "comm"
+    pid: int
+    detail: Any = None
+
+
+class Metrics:
+    """Counters aggregated over one simulation run."""
+
+    __slots__ = (
+        "messages_total",
+        "messages_by_kind",
+        "messages_sent_by",
+        "comm_calls_by",
+        "payload_cells",
+        "deliveries",
+        "steps",
+        "crashes",
+        "events_executed",
+    )
+
+    def __init__(self, n: int) -> None:
+        self.messages_total = 0
+        self.messages_by_kind = {kind: 0 for kind in MessageKind}
+        self.messages_sent_by = [0] * n
+        self.comm_calls_by = [0] * n
+        self.payload_cells = 0
+        self.deliveries = 0
+        self.steps = 0
+        self.crashes = 0
+        self.events_executed = 0
+
+    def record_send(self, sender: int, kind: MessageKind, cells: int = 0) -> None:
+        """Account one sent message of ``kind`` carrying ``cells`` register cells."""
+        self.messages_total += 1
+        self.messages_by_kind[kind] += 1
+        self.messages_sent_by[sender] += 1
+        self.payload_cells += cells
+
+    def record_comm_call(self, pid: int) -> None:
+        """Account one ``communicate`` call issued by ``pid``."""
+        self.comm_calls_by[pid] += 1
+
+    @property
+    def max_comm_calls(self) -> int:
+        """Max communicate calls by any processor — the time metric (Claim 2.1)."""
+        return max(self.comm_calls_by, default=0)
+
+    @property
+    def request_messages(self) -> int:
+        """Messages excluding acknowledgements (PROPAGATE + COLLECT)."""
+        return (
+            self.messages_by_kind[MessageKind.PROPAGATE]
+            + self.messages_by_kind[MessageKind.COLLECT]
+        )
+
+    def summary(self) -> dict[str, int]:
+        """The headline counters as a plain dict (stable keys for tests)."""
+        return {
+            "messages_total": self.messages_total,
+            "request_messages": self.request_messages,
+            "payload_cells": self.payload_cells,
+            "max_comm_calls": self.max_comm_calls,
+            "deliveries": self.deliveries,
+            "steps": self.steps,
+            "crashes": self.crashes,
+            "events_executed": self.events_executed,
+        }
+
+
+@dataclass(slots=True)
+class Trace:
+    """Optional detailed event log; enabled with ``record_events=True``."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+    enabled: bool = False
+
+    def record(self, time: int, kind: str, pid: int, detail: Any = None) -> None:
+        """Append one event if tracing is enabled; no-op otherwise."""
+        if self.enabled:
+            self.events.append(TraceEvent(time, kind, pid, detail))
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        """All recorded events of one kind, in order."""
+        return [event for event in self.events if event.kind == kind]

@@ -1,0 +1,107 @@
+"""Tests for crash-injecting adversary wrappers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import (
+    CrashingAdversary,
+    EagerAdversary,
+    RandomAdversary,
+    RandomCrashAdversary,
+)
+from repro.sim import Collect, Propagate, Simulation
+
+
+def ping_factory(api):
+    api.put("X", api.pid, api.pid)
+    yield Propagate("X", (api.pid,))
+    views = yield Collect("X")
+    return len(views)
+
+
+class TestCrashingAdversary:
+    def test_scheduled_crash_fires(self):
+        adversary = CrashingAdversary(EagerAdversary(), [(0, 3)])
+        sim = Simulation(7, {0: ping_factory}, adversary, seed=0)
+        result = sim.run()
+        assert 3 in result.crashed
+        assert result.terminated
+
+    def test_crash_of_participant_removes_it(self):
+        adversary = CrashingAdversary(EagerAdversary(), [(0, 1)])
+        sim = Simulation(
+            7, {0: ping_factory, 1: ping_factory}, adversary, seed=0
+        )
+        result = sim.run()
+        assert 1 in result.crashed
+        assert set(result.decisions) == {0}
+
+    def test_multiple_scheduled_crashes_in_order(self):
+        adversary = CrashingAdversary(EagerAdversary(), [(5, 4), (0, 3)])
+        sim = Simulation(9, {0: ping_factory}, adversary, seed=0)
+        result = sim.run()
+        assert {3, 4} <= set(result.crashed)
+
+    def test_already_crashed_target_skipped(self):
+        adversary = CrashingAdversary(EagerAdversary(), [(0, 3), (1, 3)])
+        sim = Simulation(7, {0: ping_factory}, adversary, seed=0)
+        result = sim.run()
+        assert result.terminated
+        assert result.crashed == {3}
+
+    def test_budget_respected(self):
+        # Schedule more crashes than the budget allows; extras are skipped.
+        schedule = [(0, pid) for pid in range(1, 7)]
+        adversary = CrashingAdversary(EagerAdversary(), schedule)
+        sim = Simulation(9, {0: ping_factory}, adversary, seed=0)
+        result = sim.run()
+        assert len(result.crashed) == sim.crash_budget
+
+    def test_name_composition(self):
+        adversary = CrashingAdversary(EagerAdversary(), [])
+        assert adversary.name == "crashing+eager"
+
+
+class TestRandomCrashAdversary:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            RandomCrashAdversary(EagerAdversary(), rate=1.5)
+
+    def test_zero_rate_never_crashes(self):
+        adversary = RandomCrashAdversary(EagerAdversary(), rate=0.0, seed=1)
+        sim = Simulation(7, {0: ping_factory}, adversary, seed=1)
+        result = sim.run()
+        assert not result.crashed
+
+    def test_high_rate_crashes_but_never_exceeds_budget(self):
+        adversary = RandomCrashAdversary(RandomAdversary(seed=2), rate=0.9, seed=2)
+        sim = Simulation(9, {0: ping_factory}, adversary, seed=2)
+        result = sim.run(require_termination=False)
+        assert result.crashed  # a 90% rate certainly crashed someone
+        assert len(result.crashed) <= sim.crash_budget
+        # The run ends either with a decision or with the participant dead.
+        assert 0 in result.decisions or 0 in result.crashed
+
+    def test_max_crashes_cap(self):
+        adversary = RandomCrashAdversary(
+            EagerAdversary(), rate=0.9, seed=3, max_crashes=1
+        )
+        sim = Simulation(9, {0: ping_factory}, adversary, seed=3)
+        result = sim.run()
+        assert len(result.crashed) <= 1
+
+    def test_termination_with_minority_crashes(self):
+        for seed in range(5):
+            adversary = RandomCrashAdversary(
+                RandomAdversary(seed=seed), rate=0.01, seed=seed
+            )
+            sim = Simulation(
+                9,
+                {pid: ping_factory for pid in range(4)},
+                adversary,
+                seed=seed,
+            )
+            result = sim.run(require_termination=False)
+            # Everyone alive decided (the budget keeps quorums reachable).
+            assert not result.undecided

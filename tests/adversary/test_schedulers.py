@@ -1,0 +1,228 @@
+"""Behavioural tests for every scheduling strategy.
+
+Each adversary must (a) drive any protocol to termination, and (b)
+realize its documented attack/shape.  The attack-specific assertions live
+in the core tests (e.g. the naive sifter breaking); here we verify
+scheduling mechanics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import (
+    BubbleAdversary,
+    EagerAdversary,
+    ObliviousAdversary,
+    QuorumSplitAdversary,
+    RandomAdversary,
+    RoundRobinAdversary,
+    SequentialAdversary,
+)
+from repro.adversary.base import fallback_action
+from repro.core import make_leader_elect
+from repro.sim import Collect, Deliver, Propagate, Simulation, Step
+
+from ..conftest import ALL_ADVERSARY_NAMES, fresh_adversary
+
+
+def ping_factory(api):
+    api.put("X", api.pid, api.pid)
+    yield Propagate("X", (api.pid,))
+    views = yield Collect("X")
+    return len(views)
+
+
+class TestFallbackAction:
+    def test_prefers_delivery(self):
+        sim = Simulation(4, {0: ping_factory}, EagerAdversary(), seed=0)
+        sim.execute(Step(0))  # issues the propagate broadcast
+        action = fallback_action(sim)
+        assert isinstance(action, Deliver)
+
+    def test_steps_when_pool_empty(self):
+        sim = Simulation(4, {0: ping_factory}, EagerAdversary(), seed=0)
+        action = fallback_action(sim)
+        assert action == Step(0)
+
+    def test_none_at_quiescence(self):
+        sim = Simulation(4, {}, EagerAdversary(), seed=0)
+        assert fallback_action(sim) is None
+
+
+class TestEveryAdversaryTerminates:
+    @pytest.mark.parametrize("name", ALL_ADVERSARY_NAMES)
+    def test_simple_protocol_terminates(self, name):
+        sim = Simulation(
+            6,
+            {pid: ping_factory for pid in range(4)},
+            fresh_adversary(name, seed=5),
+            seed=5,
+        )
+        result = sim.run()
+        assert result.terminated
+        assert set(result.decisions) == {0, 1, 2, 3}
+
+    @pytest.mark.parametrize("name", ALL_ADVERSARY_NAMES)
+    def test_leader_election_terminates(self, name):
+        sim = Simulation(
+            8,
+            {pid: make_leader_elect() for pid in range(8)},
+            fresh_adversary(name, seed=2),
+            seed=2,
+        )
+        result = sim.run()
+        assert result.terminated
+
+
+class TestRandomAdversary:
+    def test_bias_validation(self):
+        with pytest.raises(ValueError):
+            RandomAdversary(deliver_bias=0.0)
+        with pytest.raises(ValueError):
+            RandomAdversary(deliver_bias=1.0)
+
+    def test_reproducible(self):
+        def run(seed):
+            sim = Simulation(
+                5,
+                {pid: ping_factory for pid in range(3)},
+                RandomAdversary(seed=seed),
+                seed=7,
+            )
+            return sim.run().metrics.events_executed
+
+        assert run(3) == run(3)
+
+
+class TestSequentialAdversary:
+    def test_serializes_decisions(self):
+        """Under the sequential adversary, participant i decides before
+        participant i+1 performs any computation step."""
+        sim = Simulation(
+            6,
+            {pid: ping_factory for pid in range(4)},
+            SequentialAdversary(),
+            seed=0,
+            record_events=True,
+        )
+        result = sim.run()
+        decide_times = {
+            event.pid: event.time for event in result.trace.of_kind("decide")
+        }
+        start_times = {
+            event.pid: event.time for event in result.trace.of_kind("start")
+        }
+        for pid in range(3):
+            assert decide_times[pid] < start_times[pid + 1]
+
+    def test_respects_custom_order(self):
+        order = [3, 1, 2, 0]
+        sim = Simulation(
+            6,
+            {pid: ping_factory for pid in range(4)},
+            SequentialAdversary(order=order),
+            seed=0,
+            record_events=True,
+        )
+        result = sim.run()
+        decide_times = {
+            event.pid: event.time for event in result.trace.of_kind("decide")
+        }
+        observed = sorted(decide_times, key=decide_times.get)
+        assert observed == order
+
+
+class TestRoundRobinAdversary:
+    def test_rotates_across_processors(self):
+        sim = Simulation(
+            6,
+            {pid: ping_factory for pid in range(6)},
+            RoundRobinAdversary(),
+            seed=0,
+            record_events=True,
+        )
+        result = sim.run()
+        first_steps = {}
+        for event in result.trace.of_kind("step"):
+            first_steps.setdefault(event.pid, event.time)
+        ordered = sorted(first_steps, key=first_steps.get)
+        assert ordered == list(range(6))
+
+
+class TestQuorumSplitAdversary:
+    def test_same_half_preferred(self):
+        adversary = QuorumSplitAdversary(first_half={0, 1, 2})
+        sim = Simulation(
+            6, {pid: ping_factory for pid in range(6)}, adversary, seed=0
+        )
+        result = sim.run()
+        assert result.terminated
+
+    def test_default_half_is_lower_pids(self):
+        adversary = QuorumSplitAdversary()
+        sim = Simulation(4, {0: ping_factory}, adversary, seed=0)
+        sim.adversary.setup(sim)
+        assert adversary._half == frozenset({0, 1})
+
+
+class TestBubbleAdversary:
+    def test_default_bubble_is_quarter_of_participants(self):
+        adversary = BubbleAdversary()
+        sim = Simulation(
+            8, {pid: ping_factory for pid in range(8)}, adversary, seed=0
+        )
+        adversary.setup(sim)
+        assert adversary.unreleased == {0, 1}
+
+    def test_members_release_after_threshold(self):
+        adversary = BubbleAdversary(bubble={0}, threshold=2)
+        sim = Simulation(
+            6, {pid: ping_factory for pid in range(6)}, adversary, seed=0
+        )
+        result = sim.run()
+        assert result.terminated
+        assert adversary.unreleased == frozenset()
+
+    def test_bubbled_traffic_buffered_until_release(self):
+        """The first delivery involving the bubbled processor happens only
+        once at least ``threshold`` of its messages are buffered."""
+        threshold = 3
+        observed_buffer_at_first_delivery = []
+
+        class Probe(BubbleAdversary):
+            def choose(self, sim):
+                action = super().choose(sim)
+                if (
+                    isinstance(action, Deliver)
+                    and not observed_buffer_at_first_delivery
+                    and (action.message.sender == 0 or action.message.recipient == 0)
+                ):
+                    buffered = len(sim.in_flight.sent_by(0)) + len(
+                        sim.in_flight.addressed_to(0)
+                    )
+                    observed_buffer_at_first_delivery.append(buffered)
+                return action
+
+        adversary = Probe(bubble={0}, threshold=threshold)
+        sim = Simulation(
+            6, {pid: ping_factory for pid in range(6)}, adversary, seed=0
+        )
+        result = sim.run()
+        assert result.terminated
+        assert observed_buffer_at_first_delivery
+        assert observed_buffer_at_first_delivery[0] >= threshold
+
+
+class TestObliviousAdversary:
+    def test_reproducible(self):
+        def run():
+            sim = Simulation(
+                5,
+                {pid: ping_factory for pid in range(3)},
+                ObliviousAdversary(seed=4),
+                seed=9,
+            )
+            return sim.run().metrics.events_executed
+
+        assert run() == run()

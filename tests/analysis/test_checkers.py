@@ -1,0 +1,186 @@
+"""Tests for the specification checkers, on synthetic execution results."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.checkers import (
+    SpecificationViolation,
+    check_leader_election,
+    check_renaming,
+    check_sifting_phase,
+    count_survivors,
+)
+from repro.core import Outcome
+from repro.sim.runtime import Decision, SimulationResult
+from repro.sim.trace import Metrics, Trace
+
+
+def synthetic_result(
+    n=4,
+    outcomes=None,
+    crashed=(),
+    undecided=(),
+    start_times=None,
+    intervals=None,
+):
+    """Build a SimulationResult by hand.
+
+    ``outcomes`` maps pid -> result; ``intervals`` optionally maps pid ->
+    (start, decide).  Start times default to pid+1, decide times to 100+pid.
+    """
+    outcomes = outcomes or {}
+    intervals = intervals or {}
+    decisions = {}
+    starts = dict(start_times or {})
+    for pid, result in outcomes.items():
+        start, decide = intervals.get(pid, (pid + 1, 100 + pid))
+        decisions[pid] = Decision(
+            pid=pid, result=result, start_time=start, decide_time=decide
+        )
+        starts.setdefault(pid, start)
+    return SimulationResult(
+        n=n,
+        decisions=decisions,
+        metrics=Metrics(n),
+        trace=Trace(),
+        undecided=frozenset(undecided),
+        crashed=frozenset(crashed),
+        start_times=starts,
+    )
+
+
+class TestLeaderElectionChecker:
+    def test_accepts_single_winner(self):
+        result = synthetic_result(
+            outcomes={0: Outcome.WIN, 1: Outcome.LOSE, 2: Outcome.LOSE},
+            intervals={0: (1, 50), 1: (2, 60), 2: (3, 70)},
+        )
+        report = check_leader_election(result)
+        assert report.winner == 0
+        assert report.losers == (1, 2)
+
+    def test_rejects_two_winners(self):
+        result = synthetic_result(outcomes={0: Outcome.WIN, 1: Outcome.WIN})
+        with pytest.raises(SpecificationViolation, match="multiple winners"):
+            check_leader_election(result)
+
+    def test_rejects_all_losers_crash_free(self):
+        result = synthetic_result(outcomes={0: Outcome.LOSE, 1: Outcome.LOSE})
+        with pytest.raises(SpecificationViolation, match="Lemma A.1"):
+            check_leader_election(result)
+
+    def test_rejects_stray_outcome(self):
+        result = synthetic_result(outcomes={0: Outcome.SURVIVE})
+        with pytest.raises(SpecificationViolation, match="non WIN/LOSE"):
+            check_leader_election(result)
+
+    def test_rejects_lose_before_winner_invocation(self):
+        result = synthetic_result(
+            outcomes={0: Outcome.WIN, 1: Outcome.LOSE},
+            intervals={0: (50, 90), 1: (1, 10)},  # loser finished before
+        )
+        with pytest.raises(SpecificationViolation, match="not linearizable"):
+            check_leader_election(result)
+
+    def test_accepts_crashed_pending_winner(self):
+        result = synthetic_result(
+            outcomes={1: Outcome.LOSE},
+            crashed={0},
+            start_times={0: 1},
+            intervals={1: (2, 30)},
+        )
+        report = check_leader_election(result)
+        assert report.winner is None
+        assert report.crashed == (0,)
+
+    def test_rejects_losers_with_no_possible_winner(self):
+        # Processor 0 crashed but only *after* the loser had already
+        # returned... actually: crashed op started after the LOSE response,
+        # so nothing can be linearized as the winner.
+        result = synthetic_result(
+            outcomes={1: Outcome.LOSE},
+            crashed={0},
+            start_times={0: 99},
+            intervals={1: (2, 30)},
+        )
+        with pytest.raises(SpecificationViolation, match="linearized as the winner"):
+            check_leader_election(result)
+
+    def test_accepts_undecided_pending_winner(self):
+        result = synthetic_result(
+            outcomes={1: Outcome.LOSE},
+            undecided={0},
+            start_times={0: 1},
+            intervals={1: (2, 30)},
+        )
+        report = check_leader_election(result)
+        assert report.undecided == (0,)
+
+    def test_accepts_empty_execution(self):
+        report = check_leader_election(synthetic_result())
+        assert report.winner is None
+
+
+class TestSiftingChecker:
+    def test_accepts_mixed_outcomes(self):
+        result = synthetic_result(
+            outcomes={0: Outcome.SURVIVE, 1: Outcome.DIE, 2: Outcome.DIE}
+        )
+        assert check_sifting_phase(result) == 1
+
+    def test_rejects_zero_survivors(self):
+        result = synthetic_result(outcomes={0: Outcome.DIE, 1: Outcome.DIE})
+        with pytest.raises(SpecificationViolation, match="Claim 3.1"):
+            check_sifting_phase(result)
+
+    def test_allows_zero_survivors_with_crashes(self):
+        result = synthetic_result(outcomes={0: Outcome.DIE}, crashed={1})
+        assert check_sifting_phase(result) == 0
+
+    def test_rejects_stray_outcome(self):
+        result = synthetic_result(outcomes={0: Outcome.WIN})
+        with pytest.raises(SpecificationViolation):
+            check_sifting_phase(result)
+
+    def test_count_survivors(self):
+        result = synthetic_result(
+            outcomes={0: Outcome.SURVIVE, 1: Outcome.SURVIVE, 2: Outcome.DIE}
+        )
+        assert count_survivors(result) == 2
+
+
+class TestRenamingChecker:
+    def test_accepts_distinct_names(self):
+        result = synthetic_result(outcomes={0: 2, 1: 0, 2: 3})
+        assert check_renaming(result) == {0: 2, 1: 0, 2: 3}
+
+    def test_rejects_duplicates(self):
+        result = synthetic_result(outcomes={0: 1, 1: 1})
+        with pytest.raises(SpecificationViolation, match="duplicate"):
+            check_renaming(result)
+
+    def test_rejects_out_of_range(self):
+        result = synthetic_result(n=4, outcomes={0: 4})
+        with pytest.raises(SpecificationViolation, match="invalid name"):
+            check_renaming(result)
+
+    def test_rejects_negative(self):
+        result = synthetic_result(n=4, outcomes={0: -1})
+        with pytest.raises(SpecificationViolation, match="invalid name"):
+            check_renaming(result)
+
+    def test_rejects_non_integer(self):
+        result = synthetic_result(outcomes={0: "zero"})
+        with pytest.raises(SpecificationViolation, match="invalid name"):
+            check_renaming(result)
+
+    def test_rejects_crash_free_non_termination(self):
+        result = synthetic_result(outcomes={0: 1}, undecided={1})
+        with pytest.raises(SpecificationViolation, match="did not terminate"):
+            check_renaming(result)
+
+    def test_accepts_non_termination_with_crashes(self):
+        # undecided + crashed: quorum loss can legally block termination
+        result = synthetic_result(outcomes={0: 1}, undecided={1}, crashed={2, 3})
+        assert check_renaming(result) == {0: 1}

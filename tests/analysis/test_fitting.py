@@ -1,0 +1,98 @@
+"""Tests for growth-model fitting: each fitter must recover its own model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.fitting import (
+    best_fit,
+    fit_linear,
+    fit_log,
+    fit_log_squared,
+    fit_logstar,
+    fit_power,
+)
+from repro.analysis.theory import log_star
+
+XS = [4, 8, 16, 32, 64, 128, 256, 512, 1024]
+
+
+class TestRecovery:
+    def test_log_recovers_log_data(self):
+        ys = [3.0 + 2.0 * math.log2(x) for x in XS]
+        fit = fit_log(XS, ys)
+        assert fit.intercept == pytest.approx(3.0, abs=1e-9)
+        assert fit.slope == pytest.approx(2.0, abs=1e-9)
+        assert fit.rmse == pytest.approx(0.0, abs=1e-9)
+
+    def test_log_squared_recovers(self):
+        ys = [1.0 + 0.5 * math.log2(x) ** 2 for x in XS]
+        fit = fit_log_squared(XS, ys)
+        assert fit.slope == pytest.approx(0.5, abs=1e-9)
+
+    def test_logstar_recovers(self):
+        ys = [2.0 + 4.0 * log_star(x) for x in XS]
+        fit = fit_logstar(XS, ys)
+        assert fit.slope == pytest.approx(4.0, abs=1e-6)
+
+    def test_linear_recovers(self):
+        ys = [5.0 + 0.25 * x for x in XS]
+        fit = fit_linear(XS, ys)
+        assert fit.slope == pytest.approx(0.25, abs=1e-9)
+
+    def test_power_recovers_exponent(self):
+        ys = [3.0 * x**2 for x in XS]
+        fit = fit_power(XS, ys)
+        assert fit.slope == pytest.approx(2.0, abs=1e-9)  # the exponent
+        assert math.exp(fit.intercept) == pytest.approx(3.0, rel=1e-9)
+
+    def test_power_recovers_sqrt(self):
+        ys = [2.0 * math.sqrt(x) for x in XS]
+        fit = fit_power(XS, ys)
+        assert fit.slope == pytest.approx(0.5, abs=1e-9)
+
+
+class TestModelSelection:
+    def test_best_fit_picks_true_model(self):
+        ys = [1.0 + 2.0 * math.log2(x) for x in XS]
+        candidates = [fit_log(XS, ys), fit_linear(XS, ys), fit_logstar(XS, ys)]
+        assert best_fit(XS, ys, candidates).model == "log"
+
+    def test_best_fit_distinguishes_logstar_from_log(self):
+        """The separation the E1 bench relies on: log* data is fitted
+        better by the log* model than by the log model."""
+        ys = [1.0 + 3.0 * log_star(x) for x in XS]
+        log_fit = fit_log(XS, ys)
+        logstar_fit = fit_logstar(XS, ys)
+        assert logstar_fit.rmse < log_fit.rmse
+
+    def test_best_fit_empty_rejected(self):
+        with pytest.raises(ValueError):
+            best_fit(XS, XS, [])
+
+
+class TestValidation:
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            fit_log([2], [1.0])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            fit_log([2, 4], [1.0])
+
+    def test_power_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fit_power([0, 1], [1, 2])
+        with pytest.raises(ValueError):
+            fit_power([1, 2], [0, 2])
+
+    def test_constant_feature_zero_slope(self):
+        fit = fit_logstar([3, 4], [5.0, 7.0])  # log* is 2 for both
+        assert fit.slope == 0.0
+
+    def test_predict(self):
+        ys = [1.0 + 2.0 * math.log2(x) for x in XS]
+        fit = fit_log(XS, ys)
+        assert fit.predict(math.log2(2048)) == pytest.approx(23.0)

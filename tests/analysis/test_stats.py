@@ -1,0 +1,123 @@
+"""Tests for the statistics helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.stats import Summary, geometric_mean, quantile, summarize
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def leq(a: float, b: float) -> bool:
+    """<= up to floating-point rounding noise."""
+    return a <= b or math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-12)
+
+
+class TestQuantile:
+    def test_median_odd(self):
+        assert quantile([1, 2, 3], 0.5) == 2
+
+    def test_median_even_interpolates(self):
+        assert quantile([1, 2, 3, 4], 0.5) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        data = [5, 7, 9]
+        assert quantile(data, 0.0) == 5
+        assert quantile(data, 1.0) == 9
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            quantile([], 0.5)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            quantile([1], 1.5)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=30), st.floats(0, 1))
+    def test_within_data_range(self, values, q):
+        data = sorted(values)
+        result = quantile(data, q)
+        assert leq(data[0], result) and leq(result, data[-1])
+
+
+class TestSummarize:
+    def test_single_value(self):
+        summary = summarize([42.0])
+        assert summary.count == 1
+        assert summary.mean == 42.0
+        assert summary.stdev == 0.0
+        assert summary.stderr == 0.0
+        assert summary.minimum == summary.maximum == 42.0
+
+    def test_known_series(self):
+        summary = summarize([2.0, 4.0, 6.0])
+        assert summary.mean == pytest.approx(4.0)
+        assert summary.stdev == pytest.approx(2.0)
+        assert summary.median == pytest.approx(4.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_ci95_brackets_mean(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        low, high = summary.ci95()
+        assert low <= summary.mean <= high
+
+    def test_str_rendering(self):
+        text = str(summarize([1.0, 3.0]))
+        assert "±" in text and "max" in text
+
+    @given(st.lists(finite_floats, min_size=2, max_size=40))
+    def test_invariants(self, values):
+        summary = summarize(values)
+        assert leq(summary.minimum, summary.median)
+        assert leq(summary.median, summary.maximum)
+        assert leq(summary.minimum, summary.mean)
+        assert leq(summary.mean, summary.maximum)
+        assert summary.stdev >= 0.0
+        assert leq(summary.p90, summary.maximum)
+
+    def test_summary_is_frozen(self):
+        summary = summarize([1.0])
+        with pytest.raises(AttributeError):
+            summary.mean = 0.0  # type: ignore[misc]
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10.0)
+
+    def test_identity(self):
+        assert geometric_mean([7.0]) == pytest.approx(7.0)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=100), min_size=1, max_size=20))
+    def test_between_min_and_max(self, values):
+        result = geometric_mean(values)
+        assert min(values) * 0.999 <= result <= max(values) * 1.001
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=100), min_size=2, max_size=20))
+    def test_below_arithmetic_mean(self, values):
+        assert geometric_mean(values) <= sum(values) / len(values) + 1e-9
+
+
+def test_summary_dataclass_shape():
+    summary = Summary(
+        count=2, mean=1.5, stdev=0.7, minimum=1.0, maximum=2.0, median=1.5, p90=1.9
+    )
+    assert summary.stderr == pytest.approx(0.7 / math.sqrt(2))

@@ -1,0 +1,132 @@
+"""Tests for the closed-form theory oracle."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.theory import (
+    chernoff_upper_tail,
+    expected_rounds,
+    hpp_high_survivors,
+    hpp_low_survivors,
+    hpp_survivors,
+    log_star,
+    message_lower_bound,
+    poison_pill_survivors,
+    renaming_time_bound,
+    round_recursion,
+    tournament_levels,
+)
+
+
+class TestLogStar:
+    def test_known_values(self):
+        assert log_star(1) == 0
+        assert log_star(2) == 1
+        assert log_star(4) == 2
+        assert log_star(16) == 3
+        assert log_star(65536) == 4
+        assert log_star(2**65536) == 5
+
+    def test_zero(self):
+        assert log_star(0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            log_star(-1)
+
+    @given(st.floats(min_value=1.0, max_value=1e300))
+    def test_monotone_nondecreasing(self, x):
+        assert log_star(x) <= log_star(x * 2)
+
+    def test_tiny_for_practical_inputs(self):
+        """The paper's point: log* of anything practical is at most 5."""
+        assert log_star(10**80) <= 5
+
+
+class TestSurvivorBounds:
+    def test_poison_pill_sqrt_shape(self):
+        assert poison_pill_survivors(100) == pytest.approx(20.0)
+        assert poison_pill_survivors(1) == 1.0
+
+    def test_hpp_low_is_logarithmic(self):
+        assert hpp_low_survivors(1) == pytest.approx(1.0)
+        assert hpp_low_survivors(math.e**3) == pytest.approx(4.0, rel=0.01)
+
+    def test_hpp_high_partial_sums(self):
+        assert hpp_high_survivors(1) == pytest.approx(1.0)
+        assert hpp_high_survivors(2) == pytest.approx(1.5)
+        assert hpp_high_survivors(4) == pytest.approx(
+            1.0 + 0.5 + math.log2(3) / 3 + 0.5
+        )
+
+    def test_hpp_total_is_sum(self):
+        k = 37
+        assert hpp_survivors(k) == pytest.approx(
+            hpp_low_survivors(k) + hpp_high_survivors(k)
+        )
+
+    @pytest.mark.parametrize("k", [64, 256, 1024, 4096])
+    def test_hpp_grows_slower_than_pp_asymptotically(self, k):
+        """log^2 k = o(sqrt k): the survivor-bound ratio shrinks from k to
+        k^2 (the separation is asymptotic; at small n they are comparable,
+        which EXPERIMENTS.md discusses)."""
+        ratio_small = hpp_survivors(k) / poison_pill_survivors(k)
+        ratio_big = hpp_survivors(k * k) / poison_pill_survivors(k * k)
+        assert ratio_big < ratio_small
+
+    def test_hpp_high_survivors_large_k_approximation_continuous(self):
+        """The integral tail must join the exact prefix smoothly."""
+        below = hpp_high_survivors(100_000)
+        above = hpp_high_survivors(100_001)
+        assert abs(above - below) < 0.001
+
+
+class TestRoundRecursion:
+    def test_base_cases(self):
+        assert round_recursion(1) == 0.0
+        assert round_recursion(2) == pytest.approx(3.0)  # 1 + 2
+
+    def test_iteration_converges_like_log_star(self):
+        """expected_rounds should grow about as slowly as log*."""
+        assert expected_rounds(16) == 0  # already below the constant region
+        assert expected_rounds(2**20) <= 6
+        assert expected_rounds(2**64) <= 8
+        assert expected_rounds(2**256) <= 10
+
+    def test_monotone(self):
+        values = [expected_rounds(k) for k in (4, 64, 2**16, 2**40)]
+        assert values == sorted(values)
+        assert values[-1] >= 1
+
+
+class TestBounds:
+    def test_tournament_levels(self):
+        assert tournament_levels(1) == 0
+        assert tournament_levels(2) == 1
+        assert tournament_levels(1024) == 10
+
+    def test_message_lower_bound(self):
+        assert message_lower_bound(16, 16) == pytest.approx(16.0)
+        assert message_lower_bound(16, 16, alpha=0.5) == pytest.approx(8.0)
+
+    def test_renaming_time_bound(self):
+        assert renaming_time_bound(1) == 1.0
+        assert renaming_time_bound(16) == pytest.approx(16.0)
+
+
+class TestChernoff:
+    def test_zero_deviation_is_one(self):
+        assert chernoff_upper_tail(10.0, 0.0) == pytest.approx(1.0)
+
+    def test_decreasing_in_deviation(self):
+        values = [chernoff_upper_tail(20.0, d) for d in (0.1, 0.5, 1.0, 2.0)]
+        assert values == sorted(values, reverse=True)
+
+    def test_negative_deviation_rejected(self):
+        with pytest.raises(ValueError):
+            chernoff_upper_tail(10.0, -0.1)

@@ -1,0 +1,50 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import (
+    BubbleAdversary,
+    CoinAwareAdversary,
+    EagerAdversary,
+    ObliviousAdversary,
+    QuorumSplitAdversary,
+    RandomAdversary,
+    RoundRobinAdversary,
+    SequentialAdversary,
+)
+
+#: Names of every registry adversary that is safe for any protocol.
+ALL_ADVERSARY_NAMES = (
+    "random",
+    "eager",
+    "round_robin",
+    "oblivious",
+    "sequential",
+    "coin_aware",
+    "quorum_split",
+    "bubble",
+)
+
+
+def fresh_adversary(name: str, seed: int = 0):
+    """A new adversary instance (adversaries are single-use: they carry
+    per-run state such as focus order or release sets)."""
+    factories = {
+        "random": lambda: RandomAdversary(seed=seed),
+        "eager": lambda: EagerAdversary(),
+        "round_robin": lambda: RoundRobinAdversary(),
+        "oblivious": lambda: ObliviousAdversary(seed=seed),
+        "sequential": lambda: SequentialAdversary(),
+        "coin_aware": lambda: CoinAwareAdversary(),
+        "quorum_split": lambda: QuorumSplitAdversary(),
+        "bubble": lambda: BubbleAdversary(),
+    }
+    return factories[name]()
+
+
+@pytest.fixture(params=ALL_ADVERSARY_NAMES)
+def adversary_name(request):
+    """Parametrized fixture iterating over every scheduling strategy."""
+    return request.param

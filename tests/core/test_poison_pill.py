@@ -1,0 +1,170 @@
+"""Tests for the PoisonPill technique (Figure 1, Claims 3.1-3.2)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.theory import poison_pill_survivors
+from repro.core import Outcome, PillState, make_poison_pill
+from repro.core.poison_pill import default_bias
+from repro.harness import run_sifting_phase
+from repro.sim import Simulation
+
+from ..conftest import ALL_ADVERSARY_NAMES, fresh_adversary
+
+
+class TestDefaultBias:
+    def test_matches_paper(self):
+        assert default_bias(16) == pytest.approx(0.25)
+        assert default_bias(100) == pytest.approx(0.1)
+
+    def test_degenerate_single(self):
+        assert default_bias(1) == 1.0
+
+
+class TestAtLeastOneSurvivor:
+    """Claim 3.1: if all participants return, at least one survives."""
+
+    @pytest.mark.parametrize("name", ALL_ADVERSARY_NAMES)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_every_adversary(self, name, seed):
+        run = run_sifting_phase(
+            n=16, kind="poison_pill", adversary=fresh_adversary(name, seed), seed=seed
+        )
+        assert run.survivors >= 1
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_many_seeds_random(self, seed):
+        run = run_sifting_phase(n=12, kind="poison_pill", adversary="random", seed=seed)
+        assert run.survivors >= 1
+
+    def test_all_low_priority_all_survive(self):
+        """The paper's corner case: if everyone flips 0, everyone survives."""
+        run = run_sifting_phase(
+            n=8, kind="poison_pill", adversary="random", seed=0, bias=0.0
+        )
+        assert run.survivors == run.k == 8
+
+    def test_all_high_priority_all_survive(self):
+        run = run_sifting_phase(
+            n=8, kind="poison_pill", adversary="random", seed=0, bias=1.0
+        )
+        assert run.survivors == run.k == 8
+
+    def test_solo_participant_survives(self):
+        run = run_sifting_phase(n=5, k=1, kind="poison_pill", adversary="eager", seed=0)
+        assert run.survivors == 1
+
+
+class TestSurvivorBound:
+    """Claim 3.2: expected survivors O(sqrt(n)) under any schedule."""
+
+    @pytest.mark.parametrize("adversary", ["sequential", "random", "coin_aware"])
+    def test_mean_under_bound(self, adversary):
+        n, repeats = 36, 12
+        total = 0
+        for seed in range(repeats):
+            total += run_sifting_phase(
+                n=n, kind="poison_pill", adversary=adversary, seed=seed
+            ).survivors
+        mean = total / repeats
+        assert mean <= 1.5 * poison_pill_survivors(n)
+
+    def test_sequential_attack_forces_sqrt_many(self):
+        """Section 3.2's lower bound: sequential scheduling keeps around
+        sqrt(n) processors alive — the plain PoisonPill cannot do better."""
+        n, repeats = 64, 10
+        total = 0
+        for seed in range(repeats):
+            total += run_sifting_phase(
+                n=n, kind="poison_pill", adversary="sequential", seed=seed
+            ).survivors
+        mean = total / repeats
+        assert mean >= 0.5 * math.sqrt(n)
+
+
+class TestSequentialSemantics:
+    """The proof structure of Claim 3.2, observed directly: under the
+    sequential schedule, any 0-flipper running after some 1-flipper dies."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_zero_after_one_dies(self, seed):
+        n = 24
+        sim = Simulation(
+            n,
+            {pid: make_poison_pill() for pid in range(n)},
+            fresh_adversary("sequential"),
+            seed=seed,
+        )
+        result = sim.run()
+        seen_one = False
+        for pid in range(n):  # sequential order is pid order
+            coin = sim.processes[pid].coins.last_value("pp.coin")
+            outcome = result.outcomes[pid]
+            if seen_one and coin == 0:
+                assert outcome is Outcome.DIE
+            if coin == 1:
+                seen_one = True
+                assert outcome is Outcome.SURVIVE  # high priority always survives
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_zeros_before_first_one_survive(self, seed):
+        n = 24
+        sim = Simulation(
+            n,
+            {pid: make_poison_pill() for pid in range(n)},
+            fresh_adversary("sequential"),
+            seed=seed,
+        )
+        result = sim.run()
+        for pid in range(n):
+            coin = sim.processes[pid].coins.last_value("pp.coin")
+            if coin == 1:
+                break
+            assert result.outcomes[pid] is Outcome.SURVIVE
+
+
+class TestStatusProgression:
+    def test_final_status_matches_coin(self):
+        n = 10
+        sim = Simulation(
+            n,
+            {pid: make_poison_pill() for pid in range(n)},
+            fresh_adversary("random", seed=3),
+            seed=3,
+        )
+        sim.run()
+        for process in sim.processes:
+            coin = process.coins.last_value("pp.coin")
+            status = process.registers.get("pp.Status", process.pid)
+            expected = PillState.HIGH if coin == 1 else PillState.LOW
+            assert status is expected
+
+    def test_namespace_isolation(self):
+        """Two PoisonPill instances in different namespaces share nothing."""
+        n = 6
+
+        def both(api):
+            from repro.core.poison_pill import poison_pill
+
+            first = yield from poison_pill(api, namespace="phase0")
+            second = yield from poison_pill(api, namespace="phase1")
+            return (first, second)
+
+        sim = Simulation(
+            n, {pid: both for pid in range(n)}, fresh_adversary("random", 5), seed=5
+        )
+        result = sim.run()
+        assert all(
+            isinstance(outcome, tuple) and len(outcome) == 2
+            for outcome in result.outcomes.values()
+        )
+        first_survivors = sum(
+            1 for a, _ in result.outcomes.values() if a is Outcome.SURVIVE
+        )
+        second_survivors = sum(
+            1 for _, b in result.outcomes.values() if b is Outcome.SURVIVE
+        )
+        assert first_survivors >= 1 and second_survivors >= 1

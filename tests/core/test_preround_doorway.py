@@ -1,0 +1,132 @@
+"""Tests for the PreRound round race (Fig. 4) and the doorway (Fig. 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Outcome
+from repro.core.doorway import doorway
+from repro.core.preround import preround
+from repro.sim import Simulation
+
+from ..conftest import fresh_adversary
+
+
+def preround_once(r):
+    def factory(api):
+        outcome = yield from preround(api, r)
+        return outcome
+
+    return factory
+
+
+def doorway_once(api):
+    outcome = yield from doorway(api)
+    return outcome
+
+
+class TestPreRound:
+    def test_solo_round_one_proceeds(self):
+        sim = Simulation(5, {0: preround_once(1)}, fresh_adversary("eager"), seed=0)
+        assert sim.run().outcomes[0] is Outcome.PROCEED
+
+    def test_solo_round_two_wins(self):
+        """R = 0 < r - 1 = 1: nobody else ever advanced, so WIN."""
+        sim = Simulation(5, {0: preround_once(2)}, fresh_adversary("eager"), seed=0)
+        assert sim.run().outcomes[0] is Outcome.WIN
+
+    def test_same_round_proceeds(self):
+        sim = Simulation(
+            5,
+            {0: preround_once(1), 1: preround_once(1)},
+            fresh_adversary("sequential"),
+            seed=0,
+        )
+        outcomes = sim.run().outcomes
+        assert outcomes[0] is Outcome.PROCEED
+        assert outcomes[1] is Outcome.PROCEED
+
+    def test_behind_by_two_loses(self):
+        """A processor that observes someone two rounds ahead loses."""
+        sim = Simulation(
+            5,
+            {0: preround_once(3), 1: preround_once(1)},
+            fresh_adversary("sequential", 0),
+            seed=0,
+        )
+        outcomes = sim.run().outcomes
+        assert outcomes[0] is Outcome.WIN  # sees only round 1 < 3 - 1
+        assert outcomes[1] is Outcome.LOSE  # sees round 3 > 1
+
+    def test_one_round_ahead_is_inconclusive(self):
+        from repro.adversary import SequentialAdversary
+
+        sim = Simulation(
+            5,
+            {0: preround_once(2), 1: preround_once(1)},
+            SequentialAdversary(order=[1, 0]),
+            seed=0,
+        )
+        outcomes = sim.run().outcomes
+        assert outcomes[1] is Outcome.PROCEED  # runs first, sees nobody ahead
+        assert outcomes[0] is Outcome.PROCEED  # sees round 1 = r - 1: inconclusive
+
+    def test_win_and_lose_exclusive_same_round_pair(self):
+        """Two processors in the same round can never both win (Lemma A.2's
+        quorum-intersection core), under any scheduling seed."""
+        for seed in range(10):
+            sim = Simulation(
+                5,
+                {0: preround_once(2), 1: preround_once(2)},
+                fresh_adversary("random", seed),
+                seed=seed,
+            )
+            outcomes = sim.run().outcomes
+            wins = [pid for pid, o in outcomes.items() if o is Outcome.WIN]
+            assert len(wins) <= 1
+
+
+class TestDoorway:
+    def test_solo_proceeds(self):
+        sim = Simulation(5, {0: doorway_once}, fresh_adversary("eager"), seed=0)
+        assert sim.run().outcomes[0] is Outcome.PROCEED
+
+    def test_late_arrival_loses(self):
+        """Sequential order: the first participant closes the door, every
+        later one observes it closed and loses."""
+        sim = Simulation(
+            5,
+            {pid: doorway_once for pid in range(3)},
+            fresh_adversary("sequential"),
+            seed=0,
+        )
+        outcomes = sim.run().outcomes
+        assert outcomes[0] is Outcome.PROCEED
+        assert outcomes[1] is Outcome.LOSE
+        assert outcomes[2] is Outcome.LOSE
+
+    def test_not_everyone_can_lose(self):
+        """Lemma A.1's doorway argument: if nobody proceeded, nobody closed
+        the door, so nobody can have seen it closed."""
+        for seed in range(10):
+            sim = Simulation(
+                6,
+                {pid: doorway_once for pid in range(4)},
+                fresh_adversary("random", seed),
+                seed=seed,
+            )
+            outcomes = sim.run().outcomes
+            assert any(o is Outcome.PROCEED for o in outcomes.values())
+
+    def test_concurrent_arrivals_may_all_proceed(self):
+        """The doorway is not an election: simultaneous arrivals can all
+        pass (they race in the rounds instead)."""
+        sim = Simulation(
+            6,
+            {pid: doorway_once for pid in range(4)},
+            fresh_adversary("round_robin"),
+            seed=0,
+        )
+        outcomes = sim.run().outcomes
+        proceeders = [pid for pid, o in outcomes.items() if o is Outcome.PROCEED]
+        assert len(proceeders) >= 1

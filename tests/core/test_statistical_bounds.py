@@ -1,0 +1,113 @@
+"""Statistical validation of the paper's probabilistic bounds.
+
+These tests run many seeded executions and compare empirical frequencies
+against the analytic envelopes.  Sample sizes and slack factors are
+chosen so the tests are deterministic-in-practice (fixed seeds) and
+extremely unlikely to flag a correct implementation, while still
+catching, e.g., a broken bias or death rule.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core import Outcome, make_heterogeneous_poison_pill, make_poison_pill
+from repro.analysis.theory import hpp_high_survivors
+from repro.sim import Simulation
+
+from ..conftest import fresh_adversary
+
+
+def _hpp_run(n, seed, adversary="random"):
+    sim = Simulation(
+        n,
+        {pid: make_heterogeneous_poison_pill() for pid in range(n)},
+        fresh_adversary(adversary, seed),
+        seed=seed,
+    )
+    result = sim.run()
+    low_survivors = sum(
+        1
+        for pid, outcome in result.outcomes.items()
+        if outcome is Outcome.SURVIVE
+        and sim.processes[pid].coins.last_value("hpp.coin") == 0
+    )
+    one_flippers = sum(
+        1
+        for process in sim.processes
+        if process.coins.last_value("hpp.coin") == 1
+    )
+    return low_survivors, one_flippers
+
+
+class TestClaim35Tail:
+    """Pr[at least z processors flip 0 and survive] = O(1/z)."""
+
+    def test_tail_frequencies_bounded(self):
+        n, runs = 16, 120
+        counts = [_hpp_run(n, seed)[0] for seed in range(runs)]
+        for z in (2, 4, 8):
+            frequency = sum(1 for c in counts if c >= z) / runs
+            # Claim 3.5 gives c/z for a universal constant; c = 4 is a
+            # generous envelope that a broken closure rule blows through.
+            assert frequency <= 4.0 / z, (
+                f"Pr[low-survivors >= {z}] = {frequency} exceeds envelope"
+            )
+
+    def test_tail_decreasing_in_z(self):
+        n, runs = 16, 120
+        counts = [_hpp_run(n, seed)[0] for seed in range(runs)]
+        freqs = [sum(1 for c in counts if c >= z) / runs for z in (1, 2, 4, 8)]
+        assert freqs == sorted(freqs, reverse=True)
+
+
+class TestLemma37OneFlippers:
+    """E[number of 1-flippers] <= 1 + sum log2(l)/l, maximized by the
+    sequential schedule (each processor sees exactly its predecessors)."""
+
+    def test_sequential_mean_under_bound(self):
+        n, runs = 32, 25
+        total = sum(
+            _hpp_run(n, seed, adversary="sequential")[1] for seed in range(runs)
+        )
+        mean = total / runs
+        assert mean <= 1.5 * hpp_high_survivors(n)
+
+    def test_sequential_matches_exact_expectation(self):
+        """Under the sequential schedule the i-th processor flips 1 with
+        probability exactly log2(i+1)/(i+1) (probability 1 for the
+        first), so the expectation is computable exactly."""
+        n, runs = 32, 40
+        exact = 1.0 + sum(math.log2(i) / i for i in range(2, n + 1))
+        total = sum(
+            _hpp_run(n, seed, adversary="sequential")[1] for seed in range(runs)
+        )
+        mean = total / runs
+        # Mean of 40 runs: allow 3-sigma-ish slack around the exact value.
+        assert abs(mean - exact) <= 0.45 * exact
+
+
+class TestClaim32BiasShape:
+    """PoisonPill's 1-flippers are Binomial(k, 1/sqrt(n))."""
+
+    def test_one_flipper_count_concentrates(self):
+        n, runs = 25, 60  # bias 1/5, expectation 5
+        totals = []
+        for seed in range(runs):
+            sim = Simulation(
+                n,
+                {pid: make_poison_pill() for pid in range(n)},
+                fresh_adversary("random", seed),
+                seed=seed,
+            )
+            sim.run()
+            totals.append(
+                sum(
+                    1
+                    for process in sim.processes
+                    if process.coins.last_value("pp.coin") == 1
+                )
+            )
+        mean = sum(totals) / runs
+        expected = n / math.sqrt(n)
+        assert abs(mean - expected) <= 0.35 * expected

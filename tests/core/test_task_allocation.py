@@ -1,0 +1,134 @@
+"""Tests for the task-allocation (do-all) extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import RandomAdversary, RandomCrashAdversary
+from repro.core.extensions import make_do_all, make_replicated_do_all
+from repro.sim import Simulation
+
+from ..conftest import ALL_ADVERSARY_NAMES, fresh_adversary
+
+
+def run_do_all(n, adversary, seed, k=None, tasks=None, factory_maker=make_do_all):
+    k = k if k is not None else n
+    sim = Simulation(
+        n,
+        {pid: factory_maker(tasks=tasks) for pid in range(k)},
+        adversary,
+        seed=seed,
+    )
+    result = sim.run()
+    return result, sim
+
+
+def all_executed(result, tasks):
+    performed = set()
+    for executed in result.outcomes.values():
+        performed.update(executed)
+    return performed == set(range(tasks))
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("name", ALL_ADVERSARY_NAMES)
+    def test_every_task_done_every_adversary(self, name):
+        n = 8
+        result, _ = run_do_all(n, fresh_adversary(name, 2), seed=2)
+        assert all_executed(result, n)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_many_schedules(self, seed):
+        n = 6
+        result, _ = run_do_all(n, fresh_adversary("random", seed), seed=seed)
+        assert all_executed(result, n)
+
+    def test_fewer_workers_than_tasks(self):
+        result, _ = run_do_all(
+            8, fresh_adversary("random", 1), seed=1, k=3, tasks=8
+        )
+        assert all_executed(result, 8)
+
+    def test_single_worker_does_everything(self):
+        result, _ = run_do_all(5, fresh_adversary("eager"), seed=0, k=1)
+        assert result.outcomes[0] is not None
+        assert set(result.outcomes[0]) == set(range(5))
+
+    def test_done_implies_executed(self):
+        """Safety: a task marked done in any view was performed by someone."""
+        n = 8
+        result, sim = run_do_all(n, fresh_adversary("random", 3), seed=3)
+        performed = set()
+        for executed in result.outcomes.values():
+            performed.update(executed)
+        for process in sim.processes:
+            for task, done in process.registers.view("da.Done").items():
+                if done:
+                    assert task in performed
+
+    def test_crash_tolerant(self):
+        """Tasks finish as long as some worker survives the storm."""
+        for seed in range(5):
+            adversary = RandomCrashAdversary(
+                RandomAdversary(seed=seed), rate=0.001, seed=seed, max_crashes=2
+            )
+            n = 7
+            sim = Simulation(
+                n, {pid: make_do_all() for pid in range(n)}, adversary, seed=seed
+            )
+            result = sim.run(require_termination=False)
+            assert not result.undecided
+            # Every task was performed by someone — counting the partial
+            # progress of crashed workers (read from their local logs).
+            if result.decisions:
+                performed = set()
+                for process in sim.processes:
+                    executed = process.registers.get("da.executed", process.pid)
+                    if executed:
+                        performed.update(executed)
+                assert performed == set(range(n))
+
+
+class TestWorkBounds:
+    def test_sequential_schedule_no_duplicates(self):
+        """Fully serialized workers see all prior completions: total work
+        is exactly n."""
+        n = 10
+        result, _ = run_do_all(n, fresh_adversary("sequential"), seed=4)
+        total_work = sum(len(executed) for executed in result.outcomes.values())
+        assert total_work == n
+
+    def test_coordination_beats_replication(self):
+        n = 10
+        coordinated, _ = run_do_all(n, fresh_adversary("random", 5), seed=5)
+        replicated, _ = run_do_all(
+            n,
+            fresh_adversary("random", 5),
+            seed=5,
+            factory_maker=make_replicated_do_all,
+        )
+        coordinated_work = sum(len(x) for x in coordinated.outcomes.values())
+        replicated_work = sum(len(x) for x in replicated.outcomes.values())
+        assert replicated_work == n * n
+        assert coordinated_work < replicated_work
+
+    def test_random_schedule_work_moderate(self):
+        """Random selection keeps duplicate executions in check."""
+        n, repeats = 12, 5
+        total = 0
+        for seed in range(repeats):
+            result, _ = run_do_all(n, fresh_adversary("random", seed), seed=seed)
+            total += sum(len(x) for x in result.outcomes.values())
+        mean_work = total / repeats
+        assert mean_work <= 4 * n  # far below the k*n replication cost
+
+
+class TestReplicatedBaseline:
+    @pytest.mark.parametrize("name", ["random", "eager", "sequential"])
+    def test_everyone_does_everything(self, name):
+        n = 6
+        result, _ = run_do_all(
+            n, fresh_adversary(name, 6), seed=6, factory_maker=make_replicated_do_all
+        )
+        for executed in result.outcomes.values():
+            assert tuple(executed) == tuple(range(n))

@@ -1,0 +1,74 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_elect_defaults(self):
+        args = build_parser().parse_args(["elect"])
+        assert args.n == 16
+        assert args.adversary == "random"
+        assert args.algorithm == "poison_pill"
+
+    def test_unknown_adversary_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["elect", "--adversary", "nope"])
+
+    def test_sift_bias(self):
+        args = build_parser().parse_args(["sift", "--bias", "0.5"])
+        assert args.bias == 0.5
+
+    def test_sweep_ns(self):
+        args = build_parser().parse_args(["sweep", "--ns", "4", "8"])
+        assert args.ns == [4, 8]
+
+
+class TestCommands:
+    def test_elect(self, capsys):
+        assert main(["elect", "--n", "6", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "winner:" in out
+        assert "messages:" in out
+
+    def test_elect_tournament(self, capsys):
+        assert main(["elect", "--n", "4", "--algorithm", "tournament"]) == 0
+        assert "winner:" in capsys.readouterr().out
+
+    def test_sift(self, capsys):
+        assert main(["sift", "--n", "8", "--kind", "poison_pill"]) == 0
+        assert "survivors:" in capsys.readouterr().out
+
+    def test_rename(self, capsys):
+        assert main(["rename", "--n", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "names:" in out
+        assert "max trials:" in out
+
+    def test_rename_linear(self, capsys):
+        assert main(["rename", "--n", "4", "--algorithm", "linear"]) == 0
+        assert "names:" in capsys.readouterr().out
+
+    def test_sweep_elect(self, capsys):
+        assert main(["sweep", "--task", "elect", "--ns", "4", "8", "--repeats", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "comm calls" in out and "rounds" in out
+
+    def test_sweep_sift(self, capsys):
+        assert main(["sweep", "--task", "sift", "--ns", "4", "8", "--repeats", "2"]) == 0
+        assert "survivors" in capsys.readouterr().out
+
+    def test_sweep_rename(self, capsys):
+        assert main(["sweep", "--task", "rename", "--ns", "4", "--repeats", "2"]) == 0
+        assert "trials" in capsys.readouterr().out
+
+    def test_partial_participation(self, capsys):
+        assert main(["elect", "--n", "8", "--k", "3", "--pattern", "spread"]) == 0
+        assert "winner:" in capsys.readouterr().out

@@ -1,0 +1,96 @@
+"""Tests for sweep aggregation and table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.sweep import SweepCell, cell_table, repeat, sweep
+from repro.harness.tables import Table, render_series
+
+
+class TestRepeat:
+    def test_runs_requested_times(self):
+        seeds = repeat(lambda seed: seed, repeats=4, seed_base=1)
+        assert len(seeds) == 4
+
+    def test_seeds_distinct_and_reproducible(self):
+        first = repeat(lambda seed: seed, repeats=5, seed_base=1)
+        second = repeat(lambda seed: seed, repeats=5, seed_base=1)
+        assert first == second
+        assert len(set(first)) == 5
+
+    def test_different_bases_differ(self):
+        assert repeat(lambda s: s, 3, seed_base=1) != repeat(lambda s: s, 3, seed_base=2)
+
+    def test_zero_repeats_rejected(self):
+        with pytest.raises(ValueError):
+            repeat(lambda s: s, repeats=0)
+
+
+class TestSweep:
+    def test_one_cell_per_value(self):
+        cells = sweep([2, 4, 8], lambda value, seed: value * 2, repeats=3)
+        assert [cell.param for cell in cells] == [2, 4, 8]
+        assert all(len(cell.runs) == 3 for cell in cells)
+
+    def test_fn_receives_value_and_seed(self):
+        cells = sweep([10], lambda value, seed: (value, seed), repeats=2)
+        values = {run[0] for run in cells[0].runs}
+        seeds = {run[1] for run in cells[0].runs}
+        assert values == {10}
+        assert len(seeds) == 2
+
+    def test_cell_metric_summary(self):
+        cell = SweepCell(param=1, runs=(1.0, 3.0, 5.0))
+        summary = cell.metric(lambda run: run)
+        assert summary.mean == pytest.approx(3.0)
+
+    def test_cell_table(self):
+        cells = sweep([1, 2], lambda value, seed: value * 10.0, repeats=2)
+        rows = cell_table(cells, {"value": lambda run: run})
+        assert rows[0]["param"] == 1
+        assert rows[0]["value"].mean == pytest.approx(10.0)
+        assert rows[1]["value"].mean == pytest.approx(20.0)
+
+    def test_seeds_vary_across_values(self):
+        cells = sweep([1, 2], lambda value, seed: seed, repeats=1)
+        assert cells[0].runs != cells[1].runs
+
+
+class TestTable:
+    def test_render_contains_data(self):
+        table = Table("Demo", ["n", "time"])
+        table.add_row(8, 1.25)
+        table.add_row(16, 2.5)
+        text = table.render()
+        assert "Demo" in text
+        assert "1.25" in text
+        assert "16" in text
+
+    def test_row_arity_checked(self):
+        table = Table("Demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_large_numbers_grouped(self):
+        table = Table("Demo", ["messages"])
+        table.add_row(1234567)
+        assert "1,234,567" in table.render()
+
+    def test_notes_rendered(self):
+        table = Table("Demo", ["a"])
+        table.add_row(1)
+        table.add_note("shape only")
+        assert "note: shape only" in table.render()
+
+    def test_show_prints(self, capsys):
+        table = Table("Demo", ["a"])
+        table.add_row(1)
+        table.show()
+        assert "Demo" in capsys.readouterr().out
+
+
+class TestRenderSeries:
+    def test_format(self):
+        text = render_series("rounds", [(8, 3), (16, 4.5)])
+        assert text == "rounds: 8->3  16->4.50"

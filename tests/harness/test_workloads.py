@@ -1,0 +1,92 @@
+"""Tests for workload generation (participation and crash schedules)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.harness.workloads import (
+    choose_participants,
+    crash_schedule_eager,
+    crash_schedule_random,
+)
+
+
+class TestChooseParticipants:
+    def test_first(self):
+        assert choose_participants(8, 3, "first") == [0, 1, 2]
+
+    def test_last(self):
+        assert choose_participants(8, 3, "last") == [5, 6, 7]
+
+    def test_spread_even(self):
+        assert choose_participants(8, 4, "spread") == [0, 2, 4, 6]
+
+    def test_default_k_is_n(self):
+        assert choose_participants(5) == [0, 1, 2, 3, 4]
+
+    def test_random_is_seeded(self):
+        first = choose_participants(20, 6, "random", seed=1)
+        second = choose_participants(20, 6, "random", seed=1)
+        third = choose_participants(20, 6, "random", seed=2)
+        assert first == second
+        assert first != third
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ValueError, match="unknown pattern"):
+            choose_participants(8, 3, "bogus")
+
+    @pytest.mark.parametrize("k", [0, 9])
+    def test_out_of_range_k_rejected(self, k):
+        with pytest.raises(ValueError):
+            choose_participants(8, k)
+
+    @given(
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=1, max_value=64),
+        st.sampled_from(["first", "last", "spread", "random"]),
+        st.integers(min_value=0, max_value=100),
+    )
+    def test_properties(self, n, k, pattern, seed):
+        if k > n:
+            return
+        pids = choose_participants(n, k, pattern, seed)
+        assert len(pids) == len(set(pids))
+        assert all(0 <= pid < n for pid in pids)
+        assert pids == sorted(pids)
+        if pattern != "spread":
+            assert len(pids) == k
+        else:
+            assert 1 <= len(pids) <= k  # dedup may shrink odd spreads
+
+
+class TestCrashSchedules:
+    def test_random_respects_budget(self):
+        schedule = crash_schedule_random(9, crashes=100, seed=1)
+        assert len(schedule) == (9 + 1) // 2 - 1
+
+    def test_random_avoids_pids(self):
+        schedule = crash_schedule_random(9, crashes=4, seed=1, avoid=[0, 1])
+        assert all(pid not in (0, 1) for _, pid in schedule)
+
+    def test_random_sorted_by_event(self):
+        schedule = crash_schedule_random(15, crashes=5, seed=2)
+        events = [event for event, _ in schedule]
+        assert events == sorted(events)
+
+    def test_random_distinct_victims(self):
+        schedule = crash_schedule_random(15, crashes=6, seed=3)
+        victims = [pid for _, pid in schedule]
+        assert len(victims) == len(set(victims))
+
+    def test_zero_crashes(self):
+        assert crash_schedule_random(9, crashes=0, seed=1) == []
+
+    def test_eager(self):
+        assert crash_schedule_eager([3, 5]) == [(0, 3), (0, 5)]
+
+    def test_reproducible(self):
+        assert crash_schedule_random(11, 4, seed=9) == crash_schedule_random(
+            11, 4, seed=9
+        )

@@ -1,0 +1,90 @@
+"""Tests for the shared-memory (register-based) tournament baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Outcome
+from repro.memory import make_register_tournament
+from repro.sim import Simulation
+
+from ..conftest import ALL_ADVERSARY_NAMES, fresh_adversary
+
+
+def run_tournament(n, adversary, seed, k=None):
+    participants = {
+        pid: make_register_tournament() for pid in range(k if k else n)
+    }
+    sim = Simulation(n, participants, adversary, seed=seed)
+    result = sim.run()
+    winners = [pid for pid, o in result.outcomes.items() if o is Outcome.WIN]
+    losers = [pid for pid, o in result.outcomes.items() if o is Outcome.LOSE]
+    return winners, losers, result
+
+
+class TestUniqueWinner:
+    @pytest.mark.parametrize("name", ALL_ADVERSARY_NAMES)
+    def test_every_adversary(self, name):
+        winners, losers, _ = run_tournament(8, fresh_adversary(name, 5), seed=5)
+        assert len(winners) == 1
+        assert len(losers) == 7
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_many_seeds(self, seed):
+        winners, _, _ = run_tournament(8, fresh_adversary("random", seed), seed=seed)
+        assert len(winners) == 1
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 6, 8, 11])
+    def test_odd_and_even_sizes(self, n):
+        winners, _, _ = run_tournament(n, fresh_adversary("random", 2), seed=2)
+        assert len(winners) == 1
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 5])
+    def test_byes_with_partial_participation(self, k):
+        winners, _, _ = run_tournament(8, fresh_adversary("random", 3), seed=3, k=k)
+        assert len(winners) == 1
+
+
+class TestEmulationShape:
+    def test_solo_contender_wins_without_waiting(self):
+        winners, _, result = run_tournament(8, fresh_adversary("eager"), seed=0, k=1)
+        assert winners == [0]
+
+    def test_time_grows_with_bracket_depth(self):
+        _, _, small = run_tournament(4, fresh_adversary("eager"), seed=0)
+        _, _, large = run_tournament(32, fresh_adversary("eager"), seed=0)
+        assert (
+            large.metrics.max_comm_calls > small.metrics.max_comm_calls
+        )
+
+    def test_register_ops_cost_two_calls_each(self):
+        """Every ABD operation is exactly two communicate calls, so call
+        counts are even."""
+        _, _, result = run_tournament(4, fresh_adversary("eager"), seed=1)
+        for pid, calls in enumerate(result.metrics.comm_calls_by):
+            assert calls % 2 == 0, f"processor {pid} made {calls} calls"
+
+    def test_emulation_costs_more_than_native(self):
+        """[ABND95]: emulation preserves time shape but costs extra
+        communication relative to the native message-passing tournament."""
+        from repro.core.baselines import make_tournament
+
+        n, seed = 16, 4
+        sim_native = Simulation(
+            n,
+            {pid: make_tournament() for pid in range(n)},
+            fresh_adversary("eager"),
+            seed=seed,
+        )
+        native = sim_native.run()
+        sim_emulated = Simulation(
+            n,
+            {pid: make_register_tournament() for pid in range(n)},
+            fresh_adversary("eager"),
+            seed=seed,
+        )
+        emulated = sim_emulated.run()
+        assert emulated.metrics.messages_total > native.metrics.messages_total * 0.5
+        # Within a constant factor in time (no extra log factors).
+        ratio = emulated.metrics.max_comm_calls / native.metrics.max_comm_calls
+        assert ratio < 10

@@ -1,0 +1,74 @@
+"""Direct unit tests for the communicate request/bookkeeping types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.communicate import Collect, PendingCall, Propagate
+
+
+class TestRequests:
+    def test_propagate_defaults_to_all_keys(self):
+        request = Propagate("Status")
+        assert request.keys is None
+
+    def test_propagate_with_keys(self):
+        request = Propagate("Status", (1, 2))
+        assert request.keys == (1, 2)
+
+    def test_requests_are_immutable(self):
+        request = Collect("Status")
+        with pytest.raises(AttributeError):
+            request.var = "Other"  # type: ignore[misc]
+
+    def test_requests_hashable(self):
+        assert hash(Propagate("X", (0,))) == hash(Propagate("X", (0,)))
+        assert Collect("X") == Collect("X")
+
+
+class TestPendingCall:
+    def test_propagate_satisfaction(self):
+        pending = PendingCall(call_id=1, request=Propagate("X"), needed=2)
+        assert not pending.satisfied
+        pending.acks = 1
+        assert not pending.satisfied
+        pending.acks = 2
+        assert pending.satisfied
+
+    def test_zero_needed_is_immediately_satisfied(self):
+        pending = PendingCall(call_id=1, request=Propagate("X"), needed=0)
+        assert pending.satisfied
+
+    def test_propagate_result_is_none(self):
+        pending = PendingCall(call_id=1, request=Propagate("X"), needed=0)
+        assert pending.result() is None
+
+    def test_collect_result_returns_views_copy(self):
+        pending = PendingCall(call_id=2, request=Collect("X"), needed=1)
+        pending.views = [{0: "a"}]
+        first = pending.result()
+        assert first == [{0: "a"}]
+        first.append({1: "b"})
+        assert pending.result() == [{0: "a"}]  # internal list unaffected
+
+
+class TestSequentialDegradation:
+    def test_focus_crash_does_not_stall_others(self):
+        """If the sequential focus crashes, the strategy advances to the
+        next undecided participant instead of deadlocking."""
+        from repro.adversary import CrashingAdversary, SequentialAdversary
+        from repro.sim import Propagate as P
+        from repro.sim import Simulation
+
+        def algorithm(api):
+            api.put("X", api.pid, 1)
+            yield P("X", (api.pid,))
+            return "done"
+
+        adversary = CrashingAdversary(SequentialAdversary(), [(0, 0)])
+        sim = Simulation(
+            5, {0: algorithm, 1: algorithm}, adversary, seed=0
+        )
+        result = sim.run(require_termination=False)
+        assert result.outcomes.get(1) == "done"
+        assert 0 in result.crashed

@@ -1,0 +1,133 @@
+"""Unit and property tests for the in-flight message pool."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.messages import InFlightPool, Message, MessageKind
+
+
+def msg(sender=0, recipient=1, kind=MessageKind.ACK, call_id=1, var="v"):
+    return Message(sender=sender, recipient=recipient, kind=kind, call_id=call_id, var=var)
+
+
+class TestMessage:
+    def test_request_classification(self):
+        assert msg(kind=MessageKind.PROPAGATE).is_request
+        assert msg(kind=MessageKind.COLLECT).is_request
+        assert not msg(kind=MessageKind.ACK).is_request
+        assert not msg(kind=MessageKind.COLLECT_REPLY).is_request
+
+    def test_reply_classification(self):
+        assert msg(kind=MessageKind.ACK).is_reply
+        assert msg(kind=MessageKind.COLLECT_REPLY).is_reply
+
+    def test_uids_unique(self):
+        assert msg().uid != msg().uid
+
+    def test_identity_semantics(self):
+        a = msg()
+        b = msg()
+        assert a != b
+        assert a == a
+
+
+class TestInFlightPool:
+    def test_empty_pool(self):
+        pool = InFlightPool()
+        assert len(pool) == 0
+        assert not pool
+        assert pool.any_message() is None
+
+    def test_add_and_remove(self):
+        pool = InFlightPool()
+        message = msg()
+        pool.add(message)
+        assert len(pool) == 1
+        assert pool.any_message() is message
+        pool.remove(message)
+        assert len(pool) == 0
+
+    def test_remove_missing_raises(self):
+        pool = InFlightPool()
+        message = msg()
+        with pytest.raises(KeyError):
+            pool.remove(message)
+
+    def test_double_remove_raises(self):
+        pool = InFlightPool()
+        message = msg()
+        pool.add(message)
+        pool.remove(message)
+        with pytest.raises(KeyError):
+            pool.remove(message)
+
+    def test_swap_remove_keeps_others(self):
+        pool = InFlightPool()
+        messages = [msg(sender=i) for i in range(5)]
+        for message in messages:
+            pool.add(message)
+        pool.remove(messages[1])
+        remaining = set(pool.snapshot())
+        assert remaining == {messages[0], messages[2], messages[3], messages[4]}
+        # All remaining messages are still removable (slots were fixed up).
+        for message in list(remaining):
+            pool.remove(message)
+        assert len(pool) == 0
+
+    def test_endpoint_indexes(self):
+        pool = InFlightPool()
+        a = msg(sender=1, recipient=2)
+        b = msg(sender=2, recipient=1)
+        c = msg(sender=1, recipient=3)
+        for message in (a, b, c):
+            pool.add(message)
+        assert pool.sent_by(1) == {a, c}
+        assert pool.addressed_to(1) == {b}
+        assert set(pool.involving(1)) == {a, b, c}
+        pool.remove(a)
+        assert pool.sent_by(1) == {c}
+
+    def test_indexes_empty_for_unknown_pid(self):
+        pool = InFlightPool()
+        assert pool.sent_by(99) == set()
+        assert pool.addressed_to(99) == set()
+
+    def test_iteration(self):
+        pool = InFlightPool()
+        messages = {msg(sender=i) for i in range(3)}
+        for message in messages:
+            pool.add(message)
+        assert set(pool) == messages
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["add", "remove"]),
+            st.integers(min_value=0, max_value=4),
+            st.integers(min_value=0, max_value=4),
+        ),
+        max_size=60,
+    )
+)
+def test_pool_matches_reference_model(operations):
+    """Random add/remove sequences: the pool and its endpoint indexes must
+    always agree with a naive set-based reference model."""
+    pool = InFlightPool()
+    model: list[Message] = []
+    for op, sender, recipient in operations:
+        if op == "add":
+            message = msg(sender=sender, recipient=recipient)
+            pool.add(message)
+            model.append(message)
+        elif model:
+            victim = model.pop(len(model) // 2)
+            pool.remove(victim)
+        assert len(pool) == len(model)
+        assert set(pool.snapshot()) == set(model)
+        for pid in range(5):
+            assert pool.sent_by(pid) == {m for m in model if m.sender == pid}
+            assert pool.addressed_to(pid) == {m for m in model if m.recipient == pid}

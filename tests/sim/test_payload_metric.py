@@ -1,0 +1,70 @@
+"""Tests for the payload-size (bit-complexity proxy) metric.
+
+Section 6 of the paper raises bit complexity as future work; the
+simulator tracks the number of register cells shipped per message so the
+benchmarks can report it alongside message counts.
+"""
+
+from __future__ import annotations
+
+from repro.adversary import EagerAdversary
+from repro.sim import Collect, Propagate, Simulation
+from repro.sim.trace import Metrics
+from repro.sim.messages import MessageKind
+
+
+def test_record_send_accumulates_cells():
+    metrics = Metrics(2)
+    metrics.record_send(0, MessageKind.PROPAGATE, cells=3)
+    metrics.record_send(1, MessageKind.COLLECT_REPLY, cells=2)
+    metrics.record_send(0, MessageKind.ACK)
+    assert metrics.payload_cells == 5
+
+
+def test_propagate_ships_selected_cells_only():
+    def algorithm(api):
+        api.put("X", api.pid, 1)
+        api.put("X", 99, 2)
+        yield Propagate("X", (api.pid,))  # one cell to each of n-1 peers
+        return True
+
+    n = 5
+    sim = Simulation(n, {0: algorithm}, EagerAdversary(), seed=0)
+    result = sim.run()
+    assert result.metrics.payload_cells == n - 1
+
+
+def test_collect_replies_ship_whole_views():
+    def writer(api):
+        api.put("X", api.pid, 1)
+        yield Propagate("X", (api.pid,))
+        return True
+
+    def reader(api):
+        views = yield Collect("X")
+        return len(views)
+
+    from repro.adversary import SequentialAdversary
+
+    n = 4
+    sim = Simulation(
+        n, {0: writer, 1: reader}, SequentialAdversary(order=[0, 1]), seed=0
+    )
+    result = sim.run()
+    # writer ships n-1 cells; each replier that saw the value ships 1 cell
+    # back; repliers that had nothing ship 0.
+    assert result.metrics.payload_cells >= n - 1
+    assert "payload_cells" in result.metrics.summary()
+
+
+def test_ack_messages_carry_no_payload():
+    def algorithm(api):
+        api.put("X", api.pid, 1)
+        yield Propagate("X", (api.pid,))
+        return True
+
+    sim = Simulation(3, {0: algorithm}, EagerAdversary(), seed=0)
+    result = sim.run()
+    # 2 propagates with 1 cell each; acks contribute nothing.
+    assert result.metrics.payload_cells == 2
+    assert result.metrics.messages_by_kind[MessageKind.ACK] == 2

@@ -1,0 +1,90 @@
+"""Unit tests for the process runtime state and the algorithm-facing API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.process import Process, ProcessAPI, ProcessStatus
+from repro.sim.rng import make_stream
+
+
+def dummy_algorithm(api):
+    yield  # pragma: no cover - never driven in these tests
+
+
+def make_process(pid=0, n=4, factory=dummy_algorithm):
+    return Process(pid, n, make_stream(0, f"proc/{pid}"), factory)
+
+
+class TestProcess:
+    def test_participant_starts_idle(self):
+        process = make_process()
+        assert process.status is ProcessStatus.IDLE
+        assert process.is_participant
+        assert process.alive
+        assert not process.decided
+
+    def test_responder_without_factory(self):
+        process = Process(1, 4, make_stream(0, "proc/1"), None)
+        assert process.status is ProcessStatus.RESPONDER
+        assert not process.is_participant
+
+    def test_start_transitions_to_running(self):
+        process = make_process()
+        coroutine = process.start()
+        assert process.status is ProcessStatus.RUNNING
+        assert process.coroutine is coroutine
+
+
+class TestProcessAPI:
+    def test_identity(self):
+        api = ProcessAPI(make_process(pid=3, n=9))
+        assert api.pid == 3
+        assert api.n == 9
+
+    def test_put_get_view(self):
+        api = ProcessAPI(make_process())
+        api.put("Status", 0, "commit")
+        assert api.get("Status", 0) == "commit"
+        assert api.get("Status", 5, default="none") == "none"
+        assert api.view("Status") == {0: "commit"}
+
+    def test_flip_logs_coin(self):
+        process = make_process()
+        api = ProcessAPI(process)
+        value = api.flip(0.5, label="test.coin")
+        assert value in (0, 1)
+        assert process.coins.last() == ("test.coin", value)
+
+    def test_flip_extreme_biases(self):
+        api = ProcessAPI(make_process())
+        assert all(api.flip(1.0) == 1 for _ in range(10))
+        assert all(api.flip(0.0) == 0 for _ in range(10))
+
+    def test_flip_reproducible_across_processes_with_same_stream(self):
+        first = ProcessAPI(make_process(pid=0))
+        second = ProcessAPI(make_process(pid=0))
+        assert [first.flip(0.5) for _ in range(20)] == [
+            second.flip(0.5) for _ in range(20)
+        ]
+
+    def test_choice_logs_index(self):
+        process = make_process()
+        api = ProcessAPI(process)
+        options = ["a", "b", "c"]
+        picked = api.choice(options, label="spot")
+        label, index = process.coins.last()
+        assert label == "spot"
+        assert options[index] == picked
+
+    def test_choice_empty_rejected(self):
+        api = ProcessAPI(make_process())
+        with pytest.raises(ValueError):
+            api.choice([])
+
+    def test_choice_roughly_uniform(self):
+        api = ProcessAPI(make_process())
+        counts = {0: 0, 1: 0, 2: 0}
+        for _ in range(600):
+            counts[api.choice([0, 1, 2])] += 1
+        assert all(count > 120 for count in counts.values())

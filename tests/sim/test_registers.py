@@ -1,0 +1,185 @@
+"""Unit and property tests for register views and merge policies.
+
+The quorum-intersection arguments of the paper require register merging
+to behave like a join semilattice: merges must be idempotent,
+commutative, and associative so that views depend only on the *set* of
+information received, never on delivery order.  The hypothesis tests
+check exactly that.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.registers import (
+    POLICY_MAX,
+    POLICY_OR,
+    POLICY_VERSION,
+    RegisterFile,
+    merge_entry,
+)
+
+
+class TestMergeEntry:
+    def test_none_current_takes_incoming(self):
+        assert merge_entry(None, (1, "x", POLICY_VERSION)) == (1, "x", POLICY_VERSION)
+
+    def test_version_higher_wins(self):
+        current = (1, "old", POLICY_VERSION)
+        incoming = (2, "new", POLICY_VERSION)
+        assert merge_entry(current, incoming) == incoming
+
+    def test_version_lower_loses(self):
+        current = (3, "cur", POLICY_VERSION)
+        incoming = (2, "stale", POLICY_VERSION)
+        assert merge_entry(current, incoming) == current
+
+    def test_version_equal_keeps_current(self):
+        current = (2, "a", POLICY_VERSION)
+        incoming = (2, "b", POLICY_VERSION)
+        assert merge_entry(current, incoming) == current
+
+    def test_or_true_sticks(self):
+        assert merge_entry((1, True, POLICY_OR), (5, False, POLICY_OR))[1] is True
+        assert merge_entry((1, False, POLICY_OR), (1, True, POLICY_OR))[1] is True
+
+    def test_or_false_false(self):
+        assert merge_entry((1, False, POLICY_OR), (1, False, POLICY_OR))[1] is False
+
+    def test_max_takes_maximum(self):
+        assert merge_entry((1, 7, POLICY_MAX), (9, 3, POLICY_MAX))[1] == 7
+        assert merge_entry((1, 2, POLICY_MAX), (1, 5, POLICY_MAX))[1] == 5
+
+    def test_conflicting_policies_rejected(self):
+        with pytest.raises(ValueError, match="conflicting merge policies"):
+            merge_entry((1, 1, POLICY_MAX), (1, True, POLICY_OR))
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown merge policy"):
+            merge_entry((1, 1, "?"), (2, 2, "?"))
+
+
+def _entries(policy, values):
+    return st.tuples(st.integers(min_value=0, max_value=20), values, st.just(policy))
+
+
+entry_strategies = st.one_of(
+    _entries(POLICY_OR, st.booleans()),
+    _entries(POLICY_MAX, st.integers(min_value=-5, max_value=50)),
+)
+
+
+class TestMergeSemilattice:
+    """Order-insensitivity properties (for multi-writer policies)."""
+
+    @given(entry_strategies)
+    def test_idempotent(self, entry):
+        assert merge_entry(entry, entry) == entry
+
+    @given(st.tuples(entry_strategies, entry_strategies))
+    def test_commutative(self, pair):
+        left, right = pair
+        if left[2] != right[2]:
+            return  # policies must match within a cell
+        assert merge_entry(left, right)[1] == merge_entry(right, left)[1]
+
+    @given(st.tuples(entry_strategies, entry_strategies, entry_strategies))
+    def test_associative(self, triple):
+        a, b, c = triple
+        if not (a[2] == b[2] == c[2]):
+            return
+        left = merge_entry(merge_entry(a, b), c)
+        right = merge_entry(a, merge_entry(b, c))
+        assert left[1] == right[1]
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=9), min_size=1, max_size=8),
+        st.randoms(use_true_random=False),
+    )
+    def test_version_order_insensitive_single_writer(self, versions, rng):
+        """With a single writer, the final view is the max-version write
+        regardless of delivery order — the property the VERSION policy
+        must provide for ``Status``/``Round`` cells."""
+        writes = [(v, f"value-{v}", POLICY_VERSION) for v in versions]
+        expected = max(writes, key=lambda entry: entry[0])
+        shuffled = list(writes)
+        rng.shuffle(shuffled)
+        merged = None
+        for write in shuffled:
+            merged = merge_entry(merged, write)
+        assert merged == expected
+
+
+class TestRegisterFile:
+    def test_get_default(self):
+        registers = RegisterFile()
+        assert registers.get("Status", 3) is None
+        assert registers.get("Status", 3, default="x") == "x"
+        assert not registers.has("Status", 3)
+
+    def test_put_and_get(self):
+        registers = RegisterFile()
+        registers.put("Status", 1, "commit")
+        assert registers.get("Status", 1) == "commit"
+        assert registers.has("Status", 1)
+
+    def test_put_bumps_version(self):
+        registers = RegisterFile()
+        registers.put("Status", 1, "commit")
+        registers.put("Status", 1, "low")
+        version, value, policy = registers.entries("Status")[1]
+        assert version == 2
+        assert value == "low"
+        assert policy == POLICY_VERSION
+
+    def test_view_snapshot(self):
+        registers = RegisterFile()
+        registers.put("Round", 0, 3, POLICY_MAX)
+        registers.put("Round", 1, 5, POLICY_MAX)
+        assert registers.view("Round") == {0: 3, 1: 5}
+        assert registers.view("Missing") == {}
+
+    def test_entries_key_restriction(self):
+        registers = RegisterFile()
+        registers.put("Status", 0, "a")
+        registers.put("Status", 1, "b")
+        restricted = registers.entries("Status", keys=(1, 99))
+        assert set(restricted) == {1}
+
+    def test_merge_ignores_stale_version(self):
+        mine = RegisterFile()
+        mine.put("Status", 7, "newer")
+        mine.put("Status", 7, "newest")
+        mine.merge("Status", {7: (1, "stale", POLICY_VERSION)})
+        assert mine.get("Status", 7) == "newest"
+
+    def test_merge_adopts_fresh_version(self):
+        mine = RegisterFile()
+        mine.merge("Status", {7: (4, "remote", POLICY_VERSION)})
+        assert mine.get("Status", 7) == "remote"
+
+    def test_merge_or_policy_across_writers(self):
+        mine = RegisterFile()
+        mine.put("Contended", 2, True, POLICY_OR)
+        mine.merge("Contended", {2: (1, False, POLICY_OR), 3: (1, True, POLICY_OR)})
+        assert mine.get("Contended", 2) is True
+        assert mine.get("Contended", 3) is True
+
+    def test_unknown_policy_rejected_on_put(self):
+        registers = RegisterFile()
+        with pytest.raises(ValueError):
+            registers.put("Status", 0, 1, policy="bogus")
+
+    def test_variables_listing(self):
+        registers = RegisterFile()
+        registers.put("A", 0, 1)
+        registers.put("B", 0, 1)
+        assert set(registers.variables()) == {"A", "B"}
+
+    def test_keys_listing(self):
+        registers = RegisterFile()
+        registers.put("A", 0, 1)
+        registers.put("A", 5, 1)
+        assert set(registers.keys("A")) == {0, 5}

@@ -1,0 +1,78 @@
+"""Unit tests for metrics aggregation and event tracing."""
+
+from __future__ import annotations
+
+from repro.adversary import EagerAdversary
+from repro.sim import Collect, Propagate, Simulation
+from repro.sim.messages import MessageKind
+from repro.sim.trace import Metrics, Trace
+
+
+class TestMetrics:
+    def test_initial_state(self):
+        metrics = Metrics(4)
+        assert metrics.messages_total == 0
+        assert metrics.max_comm_calls == 0
+        assert metrics.request_messages == 0
+        assert all(count == 0 for count in metrics.messages_sent_by)
+
+    def test_record_send(self):
+        metrics = Metrics(4)
+        metrics.record_send(2, MessageKind.PROPAGATE)
+        metrics.record_send(2, MessageKind.ACK)
+        assert metrics.messages_total == 2
+        assert metrics.messages_sent_by[2] == 2
+        assert metrics.request_messages == 1
+
+    def test_record_comm_call(self):
+        metrics = Metrics(4)
+        metrics.record_comm_call(1)
+        metrics.record_comm_call(1)
+        metrics.record_comm_call(3)
+        assert metrics.comm_calls_by == [0, 2, 0, 1]
+        assert metrics.max_comm_calls == 2
+
+    def test_max_comm_calls_empty_system(self):
+        assert Metrics(0).max_comm_calls == 0
+
+
+class TestTrace:
+    def test_disabled_by_default(self):
+        trace = Trace()
+        trace.record(1, "step", 0)
+        assert trace.events == []
+
+    def test_enabled_records(self):
+        trace = Trace(enabled=True)
+        trace.record(1, "step", 0)
+        trace.record(2, "deliver", 1, "detail")
+        assert len(trace.events) == 2
+        assert trace.of_kind("step")[0].pid == 0
+        assert trace.of_kind("deliver")[0].detail == "detail"
+
+    def test_simulation_trace_contains_lifecycle(self):
+        def algorithm(api):
+            api.put("X", api.pid, 1)
+            yield Propagate("X", (api.pid,))
+            views = yield Collect("X")
+            return len(views)
+
+        sim = Simulation(3, {0: algorithm}, EagerAdversary(), record_events=True)
+        result = sim.run()
+        kinds = {event.kind for event in result.trace.events}
+        assert {"start", "step", "comm", "deliver", "decide"} <= kinds
+        starts = result.trace.of_kind("start")
+        decides = result.trace.of_kind("decide")
+        assert len(starts) == 1 and len(decides) == 1
+        assert starts[0].time <= decides[0].time
+
+    def test_comm_events_match_metrics(self):
+        def algorithm(api):
+            api.put("X", api.pid, 1)
+            yield Propagate("X", (api.pid,))
+            yield Collect("X")
+            return True
+
+        sim = Simulation(3, {0: algorithm}, EagerAdversary(), record_events=True)
+        result = sim.run()
+        assert len(result.trace.of_kind("comm")) == result.metrics.comm_calls_by[0]
