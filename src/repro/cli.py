@@ -7,6 +7,9 @@ Examples::
     python -m repro sift   --n 64 --kind poison_pill --adversary sequential
     python -m repro rename --n 16 --algorithm paper --adversary quorum_split
     python -m repro sweep  --task elect --ns 4 8 16 32 --repeats 5
+    python -m repro trace  --n 16 --adversary sequential --seed 7 --out run.jsonl
+    python -m repro replay run.jsonl
+    python -m repro report run.jsonl
 """
 
 from __future__ import annotations
@@ -75,6 +78,33 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--adversary", choices=ADVERSARIES, default="random")
     sweep_p.add_argument("--algorithm", default=None)
     sweep_p.add_argument("--seed", type=int, default=0)
+
+    trace_p = sub.add_parser(
+        "trace", help="run one task and record its event stream to JSONL"
+    )
+    common(trace_p)
+    trace_p.add_argument(
+        "--task", choices=("elect", "sift", "rename"), default="elect"
+    )
+    trace_p.add_argument(
+        "--algorithm", default=None,
+        help="algorithm/sifter kind for the task (task default when omitted)",
+    )
+    trace_p.add_argument(
+        "--out", default="trace.jsonl", help="output trace path (JSONL)"
+    )
+
+    replay_p = sub.add_parser(
+        "replay",
+        help="re-drive a recorded trace and verify a byte-identical stream",
+    )
+    replay_p.add_argument("trace", help="path of a trace recorded by `repro trace`")
+
+    report_p = sub.add_parser(
+        "report",
+        help="print per-round survivor and message rollups of a recorded trace",
+    )
+    report_p.add_argument("trace", help="path of a recorded trace (JSONL)")
     return parser
 
 
@@ -166,6 +196,45 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from .obs.replay import record_trace
+
+    recorded = record_trace(
+        args.out, task=args.task, n=args.n, k=args.k,
+        algorithm=args.algorithm, adversary=args.adversary,
+        seed=args.seed, pattern=args.pattern,
+    )
+    print(f"trace:         {recorded.path}")
+    print(f"task:          {recorded.meta['task']} "
+          f"(algorithm={recorded.meta['algorithm']})")
+    print(f"events:        {recorded.events:,}")
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    from .obs.replay import ReplayError, replay_trace
+
+    try:
+        report = replay_trace(args.trace)
+    except (OSError, ValueError, ReplayError) as error:
+        print(f"error: {error}")
+        return 2
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
+def _cmd_report(args) -> int:
+    from .obs.aggregate import TraceAggregator
+
+    try:
+        aggregator = TraceAggregator.from_file(args.trace)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}")
+        return 2
+    print(aggregator.report(title=args.trace))
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -174,6 +243,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         "sift": _cmd_sift,
         "rename": _cmd_rename,
         "sweep": _cmd_sweep,
+        "trace": _cmd_trace,
+        "replay": _cmd_replay,
+        "report": _cmd_report,
     }
     return handlers[args.command](args)
 

@@ -26,7 +26,9 @@ def doorway(api: ProcessAPI, namespace: str = "le") -> Iterator[Request]:
     var = door_var(namespace)
     views = yield Collect(var)                      # line 56
     if any(view.get(DOOR_KEY, False) for view in views):
+        api.annotate("doorway", ns=namespace, outcome=Outcome.LOSE.value)
         return Outcome.LOSE                         # lines 57-58
     api.put(var, DOOR_KEY, True, policy=POLICY_OR)  # line 59
     yield Propagate(var, (DOOR_KEY,))               # line 60
+    api.annotate("doorway", ns=namespace, outcome=Outcome.PROCEED.value)
     return Outcome.PROCEED                          # line 61

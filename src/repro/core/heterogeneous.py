@@ -47,6 +47,7 @@ def heterogeneous_poison_pill(
     """One Heterogeneous PoisonPill phase; returns SURVIVE or DIE."""
     var = status_var(namespace)
     me = api.pid
+    api.annotate("phase.enter", ns=namespace, kind="hpp")
     api.put(var, me, HetStatus(PillState.COMMIT, frozenset()))  # line 14
     yield Propagate(var, (me,))                                 # line 15
     views = yield Collect(var)                                  # line 16
@@ -57,6 +58,7 @@ def heterogeneous_poison_pill(
     api.put(var, me, HetStatus(state, observed))                # lines 21-22
     yield Propagate(var, (me,))                                 # line 23
     views = yield Collect(var)                                  # line 24
+    outcome = Outcome.SURVIVE                                   # line 30
     if state is PillState.LOW:                                  # line 25
         learned: set[int] = set()
         if use_lists:
@@ -71,8 +73,17 @@ def heterogeneous_poison_pill(
             if not any(
                 j in view and view[j].state is PillState.LOW for view in views
             ):
-                return Outcome.DIE                              # line 29
-    return Outcome.SURVIVE                                      # line 30
+                outcome = Outcome.DIE                           # line 29
+                break
+    api.annotate(
+        "phase.exit",
+        ns=namespace,
+        kind="hpp",
+        outcome=outcome.value,
+        coin=coin,
+        observed=len(observed),
+    )
+    return outcome
 
 
 def make_heterogeneous_poison_pill(

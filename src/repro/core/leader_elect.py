@@ -64,6 +64,13 @@ def leader_elect(
             survived = yield from poison_pill(
                 api, namespace=f"{namespace}.hpp{r}"
             )
+        # Local-only observability (never propagated): the round loop's own
+        # record of each sifting outcome, the internal ground truth the
+        # event-stream aggregator's survivor curves are validated against.
+        api.put(f"{namespace}.round_outcome", r, survived)
+        api.annotate(
+            "round.exit", round=r, ns=f"{namespace}.hpp{r}", outcome=survived.value
+        )
         if survived is Outcome.DIE:                               # line 70
             return Outcome.LOSE
         r += 1                                                    # line 71

@@ -47,6 +47,7 @@ def poison_pill(
     """
     var = status_var(namespace)
     me = api.pid
+    api.annotate("phase.enter", ns=namespace, kind="pp")
     api.put(var, me, PillState.COMMIT)                      # line 2
     yield Propagate(var, (me,))                             # line 3
     probability = default_bias(api.n) if bias is None else bias
@@ -54,6 +55,7 @@ def poison_pill(
     api.put(var, me, PillState.LOW if coin == 0 else PillState.HIGH)  # 5-6
     yield Propagate(var, (me,))                             # line 7
     views = yield Collect(var)                              # line 8
+    outcome = Outcome.SURVIVE                               # line 12
     if api.get(var, me) is PillState.LOW:                   # line 9
         participants = {j for view in views for j in view}
         for j in participants:                              # line 10
@@ -62,8 +64,12 @@ def poison_pill(
             )
             seen_low = any(view.get(j) is PillState.LOW for view in views)
             if seen_strong and not seen_low:
-                return Outcome.DIE                          # line 11
-    return Outcome.SURVIVE                                  # line 12
+                outcome = Outcome.DIE                       # line 11
+                break
+    api.annotate(
+        "phase.exit", ns=namespace, kind="pp", outcome=outcome.value, coin=coin
+    )
+    return outcome
 
 
 def make_poison_pill(

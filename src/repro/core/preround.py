@@ -36,7 +36,12 @@ def preround(api: ProcessAPI, r: int, namespace: str = "le") -> Iterator[Request
         default=0,
     )                                               # line 48
     if r < highest_other:                           # lines 49-50
-        return Outcome.LOSE
-    if highest_other < r - 1:                       # lines 51-52
-        return Outcome.WIN
-    return Outcome.PROCEED                          # line 53
+        verdict = Outcome.LOSE
+    elif highest_other < r - 1:                     # lines 51-52
+        verdict = Outcome.WIN
+    else:
+        verdict = Outcome.PROCEED                   # line 53
+    api.annotate(
+        "preround", round=r, verdict=verdict.value, highest_other=highest_other
+    )
+    return verdict

@@ -54,6 +54,9 @@ def get_name(api: ProcessAPI, namespace: str = "rn") -> Iterator[Request]:
             iteration += 1
             continue
         spot = api.choice(free, label=f"{namespace}.spot")        # line 38
+        api.annotate(
+            "rename.pick", iter=iteration, spot=spot, free=len(free)
+        )
         api.put(
             f"{namespace}.iter",
             (api.pid, iteration, "pick"),
@@ -66,6 +69,7 @@ def get_name(api: ProcessAPI, namespace: str = "rn") -> Iterator[Request]:
         )                                                         # line 40
         yield Propagate(var, (spot,))                             # line 41
         if outcome is Outcome.WIN:                                # lines 42-43
+            api.annotate("rename.claim", spot=spot, iterations=iteration)
             return spot
 
 

@@ -12,8 +12,8 @@ from .runners import (
     run_renaming,
     run_sifting_phase,
 )
-from .sweep import SweepCell, cell_table, repeat, sweep
-from .tables import Table, render_series
+from .sweep import SweepCell, cell_table, merged_metrics, repeat, sweep
+from .tables import Table, profile_table, render_series
 from .workloads import (
     PARTICIPATION_PATTERNS,
     choose_participants,
@@ -36,6 +36,8 @@ __all__ = [
     "crash_schedule_eager",
     "crash_schedule_random",
     "make_adversary",
+    "merged_metrics",
+    "profile_table",
     "render_series",
     "repeat",
     "run_leader_election",

@@ -61,6 +61,8 @@ def _build_simulation(
     crash_schedule: Sequence[tuple[int, int]] | None,
     record_events: bool,
     max_events: int | None,
+    sink=None,
+    profiler=None,
 ) -> Simulation:
     scheduler = make_adversary(adversary, seed)
     if crash_schedule:
@@ -72,6 +74,8 @@ def _build_simulation(
         seed=seed,
         record_events=record_events,
         max_events=max_events,
+        sink=sink,
+        profiler=profiler,
     )
 
 
@@ -127,11 +131,15 @@ def run_leader_election(
     record_events: bool = False,
     max_events: int | None = None,
     check: bool = True,
+    sink=None,
+    profiler=None,
 ) -> LeaderElectionRun:
     """Run one leader election to completion and check it.
 
     ``algorithm`` selects the paper's PoisonPill-based algorithm or the
-    [AGTV92] tournament baseline.
+    [AGTV92] tournament baseline.  ``sink`` receives the structured event
+    stream (:mod:`repro.obs`) and ``profiler`` accumulates wall-clock
+    spans; both default to off.
     """
     if algorithm == "poison_pill":
         factory = make_leader_elect()
@@ -148,7 +156,7 @@ def run_leader_election(
     participants = choose_participants(n, k, pattern, seed)
     sim = _build_simulation(
         n, factory, participants, adversary, seed, crash_schedule,
-        record_events, max_events,
+        record_events, max_events, sink, profiler,
     )
     result = sim.run(require_termination=check and not crash_schedule)
     report = check_leader_election(result) if check else LeaderElectionReport(
@@ -196,6 +204,9 @@ def run_sifting_phase(
     use_lists: bool = True,
     max_events: int | None = None,
     check: bool = True,
+    record_events: bool = False,
+    sink=None,
+    profiler=None,
 ) -> SiftingRun:
     """Run one sifting phase (PoisonPill / heterogeneous / naive)."""
     if kind == "poison_pill":
@@ -208,7 +219,8 @@ def run_sifting_phase(
         raise ValueError(f"unknown sifter {kind!r}; expected one of {SIFTER_KINDS}")
     participants = choose_participants(n, k, pattern, seed)
     sim = _build_simulation(
-        n, factory, participants, adversary, seed, None, False, max_events
+        n, factory, participants, adversary, seed, None, record_events,
+        max_events, sink, profiler,
     )
     result = sim.run()
     survivors = check_sifting_phase(result) if check else sum(
@@ -258,6 +270,9 @@ def run_renaming(
     crash_schedule: Sequence[tuple[int, int]] | None = None,
     max_events: int | None = None,
     check: bool = True,
+    record_events: bool = False,
+    sink=None,
+    profiler=None,
 ) -> RenamingRun:
     """Run one renaming execution to completion and check it."""
     if algorithm == "paper":
@@ -272,7 +287,8 @@ def run_renaming(
         )
     participants = choose_participants(n, k, pattern, seed)
     sim = _build_simulation(
-        n, factory, participants, adversary, seed, crash_schedule, False, max_events
+        n, factory, participants, adversary, seed, crash_schedule,
+        record_events, max_events, sink, profiler,
     )
     result = sim.run(require_termination=check and not crash_schedule)
     names = check_renaming(result) if check else dict(result.outcomes)

@@ -13,9 +13,28 @@ from typing import Callable, Generic, Hashable, Iterable, Mapping, Sequence, Typ
 
 from ..analysis.stats import Summary, summarize
 from ..sim.rng import derive_seed
+from ..sim.trace import Metrics
 
 P = TypeVar("P", bound=Hashable)
 R = TypeVar("R")
+
+
+def merged_metrics(runs: Iterable[object]) -> Metrics | None:
+    """Combine the :class:`~repro.sim.trace.Metrics` of several runs.
+
+    Accepts the Run objects the harness produces (anything exposing
+    ``.result.metrics``) or bare :class:`Metrics` instances, and folds
+    them into one accumulator with :meth:`Metrics.merge` — the supported
+    way for sweep workers to combine counters, instead of re-summing the
+    per-kind dicts by hand.  Returns ``None`` for an empty run set.
+    """
+    accumulator: Metrics | None = None
+    for run in runs:
+        metrics = run if isinstance(run, Metrics) else run.result.metrics
+        if accumulator is None:
+            accumulator = Metrics(len(metrics.comm_calls_by))
+        accumulator.merge(metrics)
+    return accumulator
 
 
 @dataclass(frozen=True, slots=True)
@@ -28,6 +47,10 @@ class SweepCell(Generic[P, R]):
     def metric(self, extract: Callable[[R], float]) -> Summary:
         """Summarize one metric across the cell's repetitions."""
         return summarize(extract(run) for run in self.runs)
+
+    def merged_metrics(self) -> Metrics | None:
+        """The cell's runs' counters folded into one :class:`Metrics`."""
+        return merged_metrics(self.runs)
 
 
 def repeat(

@@ -1,0 +1,101 @@
+"""Observability layer: structured events, export, aggregation, replay.
+
+The simulator (:mod:`repro.sim`) emits a typed event stream describing
+every scheduling action, message, ``communicate`` quorum, coin flip, and
+protocol phase transition.  This package defines the schema and the
+consumers:
+
+* :mod:`repro.obs.events`    — the :class:`Event` schema and sinks
+  (in-memory list, bounded ring buffer, multi-sink fan-out);
+* :mod:`repro.obs.jsonl`     — byte-stable JSONL export/import;
+* :mod:`repro.obs.aggregate` — streaming per-round survivor curves,
+  message histograms, and communicate-call statistics;
+* :mod:`repro.obs.replay`    — deterministic re-execution of a recorded
+  schedule with byte-identical stream verification;
+* :mod:`repro.obs.profile`   — wall-clock span profiling of the runtime
+  hot paths.
+
+``repro.obs.replay`` is re-exported lazily: it sits above the harness
+layer, which itself sits above :mod:`repro.sim`, and the runtime imports
+this package from below.
+"""
+
+from __future__ import annotations
+
+from .aggregate import PhaseStats, RoundStats, TraceAggregator, aggregate_events
+from .events import (
+    CallbackSink,
+    Event,
+    EventSink,
+    EventType,
+    ListSink,
+    MultiSink,
+    RingBufferSink,
+    SCHEDULE_EVENT_TYPES,
+    combine_sinks,
+    json_safe,
+)
+from .jsonl import (
+    JsonlSink,
+    TRACE_FORMAT_VERSION,
+    event_line,
+    read_events,
+    read_trace,
+    write_events,
+)
+from .profile import Profiler, SpanStats
+
+_REPLAY_EXPORTS = {
+    "RecordedTrace",
+    "ReplayDivergenceError",
+    "ReplayError",
+    "ReplayReport",
+    "ScriptedAdversary",
+    "extract_schedule",
+    "record_trace",
+    "replay_trace",
+}
+
+
+def __getattr__(name: str):
+    # Lazy: replay pulls in the harness, which pulls in the simulator,
+    # which imports this package — eager import here would be circular.
+    if name in _REPLAY_EXPORTS:
+        from . import replay
+
+        return getattr(replay, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "CallbackSink",
+    "Event",
+    "EventSink",
+    "EventType",
+    "JsonlSink",
+    "ListSink",
+    "MultiSink",
+    "PhaseStats",
+    "Profiler",
+    "RecordedTrace",
+    "ReplayDivergenceError",
+    "ReplayError",
+    "ReplayReport",
+    "RingBufferSink",
+    "RoundStats",
+    "SCHEDULE_EVENT_TYPES",
+    "ScriptedAdversary",
+    "SpanStats",
+    "TRACE_FORMAT_VERSION",
+    "TraceAggregator",
+    "aggregate_events",
+    "combine_sinks",
+    "event_line",
+    "extract_schedule",
+    "json_safe",
+    "read_events",
+    "read_trace",
+    "record_trace",
+    "replay_trace",
+    "write_events",
+]

@@ -1,0 +1,126 @@
+"""JSONL export and import of event streams.
+
+One JSON object per line.  The first line of a recorded trace is a meta
+header (``{"meta": {...}}``) carrying everything the replayer needs to
+reconstruct the run: task, system size, participants spec, seed, and the
+adversary's registry name.  Every following line is one event, serialized
+with sorted keys and no whitespace so that identical executions produce
+byte-identical files — the property the replay verifier asserts.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Any, Iterable, Iterator
+
+from .events import Event
+
+#: Bumped when the serialized schema changes incompatibly.
+TRACE_FORMAT_VERSION = 1
+
+
+def event_to_obj(event: Event) -> dict[str, Any]:
+    """The JSON object form of one event (``raw`` is dropped)."""
+    from .events import json_safe
+
+    return {
+        "t": event.time,
+        "e": event.etype,
+        "p": event.pid,
+        "f": {key: json_safe(value) for key, value in event.fields.items()},
+    }
+
+
+def event_line(event: Event) -> str:
+    """Canonical single-line serialization of one event."""
+    return json.dumps(event_to_obj(event), sort_keys=True, separators=(",", ":"))
+
+
+def obj_to_event(obj: dict[str, Any]) -> Event:
+    """Rebuild an :class:`Event` from its parsed JSON object form."""
+    return Event(time=obj["t"], etype=obj["e"], pid=obj["p"], fields=obj["f"])
+
+
+class JsonlSink:
+    """Stream events to a JSONL file (or any text file object).
+
+    Writes are line-buffered in memory and flushed on :meth:`close`; a
+    typical leader-election trace is a few thousand lines, so buffering
+    the whole run costs little and keeps the hot path free of syscalls.
+    """
+
+    __slots__ = ("_fp", "_owns", "_lines", "path")
+
+    def __init__(self, target: str | io.TextIOBase, meta: dict[str, Any] | None = None):
+        if isinstance(target, (str, bytes)):
+            self.path: str | None = str(target)
+            self._fp = open(target, "w", encoding="utf-8")
+            self._owns = True
+        else:
+            self.path = None
+            self._fp = target
+            self._owns = False
+        self._lines: list[str] = []
+        if meta is not None:
+            self._lines.append(
+                json.dumps({"meta": meta}, sort_keys=True, separators=(",", ":"))
+            )
+
+    def emit(self, event: Event) -> None:
+        self._lines.append(event_line(event))
+
+    @property
+    def line_count(self) -> int:
+        """Lines buffered so far, the meta header included."""
+        return len(self._lines)
+
+    def close(self) -> None:
+        if self._lines:
+            self._fp.write("\n".join(self._lines))
+            self._fp.write("\n")
+            self._lines = []
+        self._fp.flush()
+        if self._owns:
+            self._fp.close()
+
+
+def iter_trace_lines(path: str) -> Iterator[str]:
+    """Yield the raw lines of a trace file, without trailing newlines."""
+    with open(path, "r", encoding="utf-8") as fp:
+        for line in fp:
+            line = line.rstrip("\n")
+            if line:
+                yield line
+
+
+def read_trace(path: str) -> tuple[dict[str, Any] | None, list[dict[str, Any]]]:
+    """Load a trace file: ``(meta, event_objects)``.
+
+    ``meta`` is ``None`` for headerless streams (e.g. a bare event dump).
+    """
+    meta: dict[str, Any] | None = None
+    events: list[dict[str, Any]] = []
+    for index, line in enumerate(iter_trace_lines(path)):
+        obj = json.loads(line)
+        if index == 0 and "meta" in obj:
+            meta = obj["meta"]
+        else:
+            events.append(obj)
+    return meta, events
+
+
+def read_events(path: str) -> list[Event]:
+    """Load a trace file's events as :class:`Event` objects."""
+    _, objects = read_trace(path)
+    return [obj_to_event(obj) for obj in objects]
+
+
+def write_events(path: str, events: Iterable[Event], meta: dict[str, Any] | None = None) -> int:
+    """Serialize ``events`` to ``path``; returns the number of lines written."""
+    sink = JsonlSink(path, meta=meta)
+    for event in events:
+        sink.emit(event)
+    count = sink.line_count
+    sink.close()
+    return count

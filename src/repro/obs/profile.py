@@ -1,0 +1,105 @@
+"""Wall-clock profiling spans for the simulator's hot paths.
+
+The logical-clock metrics answer "how many communicate calls"; this
+module answers "where do the *seconds* go" — adversary decision time vs
+delivery processing vs protocol steps.  A :class:`Profiler` is passed to
+:class:`~repro.sim.runtime.Simulation` (or any other code) and accumulates
+named span statistics with ``time.perf_counter``; when no profiler is
+attached the runtime pays a single ``is None`` check.
+
+Spans nest freely and the accumulator is merge-able, so sweep workers can
+combine per-run profiles into one table
+(:func:`repro.harness.tables.profile_table`).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class SpanStats:
+    """Accumulated timings of one named span."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    maximum: float = 0.0
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def add(self, elapsed: float) -> None:
+        self.count += 1
+        self.total += elapsed
+        if elapsed > self.maximum:
+            self.maximum = elapsed
+
+
+class Profiler:
+    """Named wall-clock span accumulator.
+
+    ``clock`` is injectable for deterministic tests; it defaults to
+    :func:`time.perf_counter`.
+    """
+
+    __slots__ = ("_spans", "_clock")
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._spans: dict[str, SpanStats] = {}
+        self._clock = clock
+
+    @contextmanager
+    def span(self, name: str):
+        """Time a ``with``-block under ``name``."""
+        start = self._clock()
+        try:
+            yield self
+        finally:
+            self.record(name, self._clock() - start)
+
+    def record(self, name: str, elapsed: float) -> None:
+        """Account one completed span of ``elapsed`` seconds."""
+        stats = self._spans.get(name)
+        if stats is None:
+            stats = self._spans[name] = SpanStats(name=name)
+        stats.add(elapsed)
+
+    def stats(self) -> list[SpanStats]:
+        """All span statistics, most expensive first."""
+        return sorted(self._spans.values(), key=lambda s: -s.total)
+
+    def get(self, name: str) -> SpanStats | None:
+        return self._spans.get(name)
+
+    def total_seconds(self) -> float:
+        """Sum of all span totals (spans may nest; this double-counts)."""
+        return sum(stats.total for stats in self._spans.values())
+
+    def merge(self, other: "Profiler") -> "Profiler":
+        """Fold another profiler's spans into this one; returns self."""
+        for stats in other._spans.values():
+            mine = self._spans.get(stats.name)
+            if mine is None:
+                self._spans[stats.name] = SpanStats(
+                    name=stats.name,
+                    count=stats.count,
+                    total=stats.total,
+                    maximum=stats.maximum,
+                )
+            else:
+                mine.count += stats.count
+                mine.total += stats.total
+                if stats.maximum > mine.maximum:
+                    mine.maximum = stats.maximum
+        return self
+
+    def __bool__(self) -> bool:
+        return bool(self._spans)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        spans = ", ".join(f"{s.name}={s.total:.3f}s" for s in self.stats()[:4])
+        return f"Profiler({spans})"

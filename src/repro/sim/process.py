@@ -54,6 +54,7 @@ class Process:
         "failure",
         "decide_time",
         "put_hook",
+        "obs",
     )
 
     def __init__(
@@ -83,6 +84,10 @@ class Process:
         #: replay view evolution (local writes are not messages and would
         #: otherwise be invisible to the trace).
         self.put_hook: Callable[[str, Hashable, Any], None] | None = None
+        #: Structured-event emission channel ``(etype, fields, raw=None)``;
+        #: set by the simulation when an event sink is attached.  ``None``
+        #: means observability is off and emission sites cost one check.
+        self.obs: Callable[..., None] | None = None
 
     @property
     def is_participant(self) -> bool:
@@ -156,6 +161,9 @@ class ProcessAPI:
         """
         value = 1 if self._process.rng.random() < probability else 0
         self._process.coins.record(label, value)
+        obs = self._process.obs
+        if obs is not None:
+            obs("coin.flip", {"label": label, "p": probability, "value": value})
         return value
 
     def choice(self, options: list, label: str = "choice") -> Any:
@@ -164,4 +172,18 @@ class ProcessAPI:
             raise ValueError("cannot choose from an empty sequence")
         index = self._process.rng.randrange(len(options))
         self._process.coins.record(label, index)
+        obs = self._process.obs
+        if obs is not None:
+            obs("coin.choice", {"label": label, "index": index, "options": len(options)})
         return options[index]
+
+    def annotate(self, etype: str, **fields: Any) -> None:
+        """Emit a protocol-level structured event (phase/round transitions).
+
+        A no-op unless the simulation has an event sink attached, so
+        algorithms annotate unconditionally; see
+        :class:`repro.obs.events.EventType` for the schema.
+        """
+        obs = self._process.obs
+        if obs is not None:
+            obs(etype, fields)

@@ -31,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Mapping
 
+from ..obs.events import Event, EventType, combine_sinks
 from .communicate import Collect, PendingCall, Propagate
 from .errors import (
     AdversaryProtocolError,
@@ -42,11 +43,13 @@ from .errors import (
 from .messages import InFlightPool, Message, MessageKind
 from .process import AlgorithmFactory, Process, ProcessStatus
 from .rng import make_stream
-from .trace import Metrics, Trace
+from .trace import Metrics, Trace, TraceAdapterSink
 
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from ..adversary.base import Adversary
+    from ..obs.events import EventSink
+    from ..obs.profile import Profiler
 
 
 @dataclass(frozen=True, slots=True)
@@ -65,6 +68,16 @@ class Crash:
 
 
 Action = Deliver | Step | Crash
+
+#: Shared empty payload for events that need none (avoids a dict per event).
+_NO_FIELDS: Mapping[str, Any] = {}
+
+#: Profiler span names for each action type (see ``Simulation.execute``).
+_ACTION_SPANS = {
+    Deliver: "execute.deliver",
+    Step: "execute.step",
+    Crash: "execute.crash",
+}
 
 
 @dataclass(slots=True)
@@ -117,6 +130,8 @@ class Simulation:
         crash_budget: int | None = None,
         record_events: bool = False,
         max_events: int | None = None,
+        sink: "EventSink | None" = None,
+        profiler: "Profiler | None" = None,
     ) -> None:
         if n < 1:
             raise ValueError("need at least one processor")
@@ -134,6 +149,17 @@ class Simulation:
         self.in_flight = InFlightPool()
         self.metrics = Metrics(n)
         self.trace = Trace(enabled=record_events)
+        self.profiler = profiler
+        # The structured event stream (repro.obs).  ``record_events`` keeps
+        # the legacy Trace populated through an adapter sink; an explicit
+        # ``sink`` receives the full typed stream.  When both are absent
+        # every emission site below reduces to one ``is None`` check.
+        sinks: list = []
+        if record_events:
+            sinks.append(TraceAdapterSink(self.trace))
+        if sink is not None:
+            sinks.append(sink)
+        self._obs = combine_sinks(sinks)
         self.clock = 0
         self.max_events = max_events if max_events is not None else 100_000 + 1_000 * n * n
         self._call_counter = 0
@@ -141,13 +167,29 @@ class Simulation:
         self._undecided: set[int] = set(participants)
         self._crashed: set[int] = set()
         self._start_times: dict[int, int] = {}
-        if record_events:
+        if self._obs is not None:
             for process in self.processes:
                 process.put_hook = self._make_put_hook(process.pid)
+                process.obs = self._make_obs_hook(process.pid)
 
     def _make_put_hook(self, pid: int):
         def hook(var, key, value):
-            self.trace.record(self.clock, "put", pid, (var, key, value))
+            self._obs.emit(Event(
+                self.clock,
+                EventType.REG_PUT,
+                pid,
+                {"var": var, "key": key, "value": value},
+                raw=(var, key, value),
+            ))
+
+        return hook
+
+    def _make_obs_hook(self, pid: int):
+        """Emission channel handed to processes for coin flips and the
+        protocol-level annotations (phase/round transitions)."""
+
+        def hook(etype: str, fields: dict, raw: Any = None) -> None:
+            self._obs.emit(Event(self.clock, etype, pid, fields, raw))
 
         return hook
 
@@ -205,7 +247,11 @@ class Simulation:
                     f"exceeded {self.max_events} events with "
                     f"{len(self._undecided)} undecided participants"
                 )
-            action = self.adversary.choose(self)
+            if self.profiler is None:
+                action = self.adversary.choose(self)
+            else:
+                with self.profiler.span("adversary.choose"):
+                    action = self.adversary.choose(self)
             if action is None:
                 if self.has_enabled_action():
                     raise AdversaryProtocolError(
@@ -221,6 +267,14 @@ class Simulation:
 
     def execute(self, action: Action) -> None:
         """Apply one adversary-chosen action."""
+        if self.profiler is None:
+            self._execute(action)
+        else:
+            label = _ACTION_SPANS.get(type(action), "execute.unknown")
+            with self.profiler.span(label):
+                self._execute(action)
+
+    def _execute(self, action: Action) -> None:
         self.metrics.events_executed += 1
         self.clock += 1
         if isinstance(action, Deliver):
@@ -261,7 +315,22 @@ class Simulation:
         self.in_flight.remove(message)
         self.metrics.deliveries += 1
         recipient = self.processes[message.recipient]
-        self.trace.record(self.clock, "deliver", message.recipient, message)
+        if self._obs is not None:
+            # Carries (src, dst, kind, call): together with sched.step and
+            # sched.crash this is the full schedule the replayer re-drives.
+            self._obs.emit(Event(
+                self.clock,
+                EventType.MSG_DELIVER,
+                message.recipient,
+                {
+                    "kind": message.kind.value,
+                    "src": message.sender,
+                    "dst": message.recipient,
+                    "call": message.call_id,
+                    "var": message.var,
+                },
+                raw=message,
+            ))
         if recipient.status is ProcessStatus.CRASHED:
             return  # delivered into the void; faulty processors never reply
         if message.kind is MessageKind.PROPAGATE:
@@ -308,6 +377,13 @@ class Simulation:
             )
         if pending.satisfied and process.status is ProcessStatus.RUNNING:
             self._needs_step.add(process.pid)
+            if self._obs is not None:
+                self._obs.emit(Event(
+                    self.clock,
+                    EventType.COMM_DONE,
+                    process.pid,
+                    {"call": pending.call_id, "acks": pending.acks},
+                ))
 
     def _step(self, pid: int) -> None:
         process = self.processes[pid]
@@ -315,10 +391,12 @@ class Simulation:
             raise AdversaryProtocolError(f"cannot step crashed processor {pid}")
         self.metrics.steps += 1
         process.steps_taken += 1
-        self.trace.record(self.clock, "step", pid)
+        if self._obs is not None:
+            self._obs.emit(Event(self.clock, EventType.SCHED_STEP, pid, _NO_FIELDS))
         if process.status is ProcessStatus.IDLE:
             self._start_times[pid] = self.clock
-            self.trace.record(self.clock, "start", pid)
+            if self._obs is not None:
+                self._obs.emit(Event(self.clock, EventType.PROC_START, pid, _NO_FIELDS))
             process.start()
             self._advance(process, None)
         while (
@@ -343,7 +421,8 @@ class Simulation:
         self._needs_step.discard(pid)
         self._undecided.discard(pid)
         self.metrics.crashes += 1
-        self.trace.record(self.clock, "crash", pid)
+        if self._obs is not None:
+            self._obs.emit(Event(self.clock, EventType.SCHED_CRASH, pid, _NO_FIELDS))
 
     # ------------------------------------------------------------------
     # Coroutine advancement
@@ -359,7 +438,14 @@ class Simulation:
             process.decide_time = self.clock
             process.pending = None
             self._undecided.discard(process.pid)
-            self.trace.record(self.clock, "decide", process.pid, stop.value)
+            if self._obs is not None:
+                self._obs.emit(Event(
+                    self.clock,
+                    EventType.PROC_DECIDE,
+                    process.pid,
+                    {"result": stop.value},
+                    raw=stop.value,
+                ))
             return
         if not isinstance(request, (Propagate, Collect)):
             raise ProcessProtocolError(
@@ -373,7 +459,18 @@ class Simulation:
         call_id = self._call_counter
         process.comm_calls += 1
         self.metrics.record_comm_call(process.pid)
-        self.trace.record(self.clock, "comm", process.pid, request)
+        if self._obs is not None:
+            self._obs.emit(Event(
+                self.clock,
+                EventType.COMM_CALL,
+                process.pid,
+                {
+                    "call": call_id,
+                    "kind": "propagate" if isinstance(request, Propagate) else "collect",
+                    "var": request.var,
+                },
+                raw=request,
+            ))
         needed_remote = self.n // 2  # quorum = floor(n/2) + 1, counting self
         pending = PendingCall(call_id=call_id, request=request, needed=needed_remote)
         if isinstance(request, Propagate):
@@ -401,9 +498,31 @@ class Simulation:
         if pending.satisfied:
             # Degenerate quorums (n == 1): resolvable without remote acks.
             self._needs_step.add(process.pid)
+            if self._obs is not None:
+                self._obs.emit(Event(
+                    self.clock,
+                    EventType.COMM_DONE,
+                    process.pid,
+                    {"call": call_id, "acks": pending.acks},
+                ))
 
     def _send(self, sender: Process, message: Message) -> None:
         sender.messages_sent += 1
         cells = len(message.entries) if message.entries is not None else 0
         self.metrics.record_send(sender.pid, message.kind, cells)
+        if self._obs is not None:
+            self._obs.emit(Event(
+                self.clock,
+                EventType.MSG_SEND,
+                sender.pid,
+                {
+                    "kind": message.kind.value,
+                    "src": message.sender,
+                    "dst": message.recipient,
+                    "call": message.call_id,
+                    "var": message.var,
+                    "cells": cells,
+                },
+                raw=message,
+            ))
         self.in_flight.add(message)

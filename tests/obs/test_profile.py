@@ -1,0 +1,69 @@
+"""Unit tests for wall-clock span profiling and its harness table."""
+
+from __future__ import annotations
+
+from repro.harness.tables import profile_table
+from repro.obs.profile import Profiler
+from repro.sim.runtime import Simulation
+from repro.adversary import ADVERSARY_FACTORIES
+from repro.core import make_leader_elect
+
+
+def make_fake_clock(step: float = 1.0):
+    state = {"now": 0.0}
+
+    def clock() -> float:
+        state["now"] += step
+        return state["now"]
+
+    return clock
+
+
+def test_spans_accumulate_with_injected_clock():
+    profiler = Profiler(clock=make_fake_clock())
+    for _ in range(3):
+        with profiler.span("work"):
+            pass
+    stats = profiler.get("work")
+    assert stats.count == 3
+    assert stats.total == 3.0  # each span: one clock tick
+    assert stats.mean == 1.0 and stats.maximum == 1.0
+    assert profiler.total_seconds() == 3.0
+    assert bool(profiler)
+
+
+def test_stats_sorted_by_total_and_merge():
+    first = Profiler(clock=make_fake_clock())
+    with first.span("cheap"):
+        pass
+    second = Profiler(clock=make_fake_clock(step=5.0))
+    with second.span("dear"):
+        pass
+    first.merge(second)
+    assert [stats.name for stats in first.stats()] == ["dear", "cheap"]
+    assert not Profiler()
+
+
+def test_profile_table_renders_spans():
+    profiler = Profiler(clock=make_fake_clock())
+    profiler.record("adversary.choose", 0.25)
+    table = profile_table(profiler)
+    text = table.render()
+    assert "adversary.choose" in text
+    assert "span" in text and "calls" in text
+
+
+def test_runtime_records_spans_when_profiler_attached():
+    profiler = Profiler()
+    factory = make_leader_elect()
+    sim = Simulation(
+        n=8,
+        participants={pid: factory for pid in range(8)},
+        adversary=ADVERSARY_FACTORIES["random"](seed=0),
+        seed=0,
+        profiler=profiler,
+    )
+    sim.run()
+    names = {stats.name for stats in profiler.stats()}
+    assert "adversary.choose" in names
+    assert {"execute.deliver", "execute.step"} <= names

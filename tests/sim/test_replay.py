@@ -1,0 +1,82 @@
+"""Record/replay round trips: every adversary must replay byte-identically.
+
+The determinism contract (ROADMAP E4, :mod:`repro.obs.replay`) is that a
+trace — seed plus the recorded action schedule — fully determines a run.
+These tests record a leader election under each registered adversary,
+re-drive it with the :class:`ScriptedAdversary`, and require the rerun's
+event stream to match the recording byte for byte.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import ADVERSARY_FACTORIES
+from repro.obs.jsonl import read_trace
+from repro.obs.replay import (
+    ReplayError,
+    ScriptedAdversary,
+    extract_schedule,
+    record_trace,
+    replay_trace,
+)
+
+
+@pytest.mark.parametrize("adversary", sorted(ADVERSARY_FACTORIES))
+def test_elect_replays_byte_identically(tmp_path, adversary):
+    path = str(tmp_path / f"elect-{adversary}.jsonl")
+    recorded = record_trace(path, task="elect", n=8, adversary=adversary, seed=3)
+    assert recorded.events > 0
+    report = replay_trace(path)
+    assert report.ok, report.describe()
+    assert report.recorded_events == recorded.events
+    assert report.run.winner == recorded.run.winner
+
+
+@pytest.mark.parametrize("task", ["sift", "rename"])
+def test_other_tasks_replay(tmp_path, task):
+    path = str(tmp_path / f"{task}.jsonl")
+    record_trace(path, task=task, n=8, adversary="random", seed=1)
+    report = replay_trace(path)
+    assert report.ok, report.describe()
+
+
+def test_replay_uses_recorded_schedule_not_fresh_randomness(tmp_path):
+    # Record under the random adversary, then confirm the replay consumes
+    # exactly the recorded schedule — the scripted adversary ends drained.
+    path = str(tmp_path / "sched.jsonl")
+    record_trace(path, task="elect", n=8, adversary="random", seed=9)
+    _, objects = read_trace(path)
+    schedule = extract_schedule(objects)
+    assert schedule, "a run must contain scheduling events"
+    scripted = ScriptedAdversary(schedule)
+    assert scripted.remaining == len(schedule)
+    report = replay_trace(path)
+    assert report.ok
+
+
+def test_tampered_trace_is_detected(tmp_path):
+    path = str(tmp_path / "tampered.jsonl")
+    record_trace(path, task="elect", n=8, adversary="sequential", seed=0)
+    lines = open(path).read().splitlines()
+    # Drop one non-scheduling event line from the middle of the stream:
+    # the replay stream then has more events than the recording.
+    victim = next(
+        i for i, line in enumerate(lines[1:], start=1) if '"e":"coin.' in line
+    )
+    del lines[victim]
+    open(path, "w").write("\n".join(lines) + "\n")
+    report = replay_trace(path)
+    assert not report.ok
+
+
+def test_meta_header_required(tmp_path):
+    path = tmp_path / "bare.jsonl"
+    path.write_text('{"t":0,"e":"sched.step","p":0,"f":{}}\n')
+    with pytest.raises(ReplayError):
+        replay_trace(str(path))
+
+
+def test_unknown_task_rejected(tmp_path):
+    with pytest.raises(ReplayError):
+        record_trace(str(tmp_path / "x.jsonl"), task="nope", n=4)
