@@ -7,7 +7,10 @@ never absolute constants, which are substrate-specific.
 
 Set ``REPRO_BENCH_FULL=1`` for the larger, slower sweeps recorded in
 EXPERIMENTS.md; the default grid keeps ``pytest benchmarks/
---benchmark-only`` under a few minutes.
+--benchmark-only`` under a few minutes.  Set ``REPRO_BENCH_WORKERS=N``
+to fan each sweep's repetitions out over N forked worker processes —
+results are bit-identical to the serial run (same derived seeds), only
+the wall-clock changes.
 """
 
 from __future__ import annotations
@@ -21,6 +24,9 @@ FULL = os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
 
 #: Repetitions per sweep cell.
 REPEATS = 5 if FULL else 3
+
+#: Worker processes per sweep; 1 = serial, 0 = all CPUs.
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1") or "1")
 
 
 def grid(default, full):
@@ -36,9 +42,15 @@ def mean_of(cells, extract):
     }
 
 
-def run_sweep(values, fn, repeats=None, seed_base=0):
-    """Thin wrapper fixing the repeat count to the suite default."""
-    return sweep(values, fn, repeats=repeats or REPEATS, seed_base=seed_base)
+def run_sweep(values, fn, repeats=None, seed_base=0, workers=None):
+    """Thin wrapper fixing the repeat and worker counts to suite defaults."""
+    return sweep(
+        values,
+        fn,
+        repeats=repeats or REPEATS,
+        seed_base=seed_base,
+        workers=WORKERS if workers is None else workers,
+    )
 
 
 def once(benchmark, fn):

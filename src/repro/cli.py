@@ -6,7 +6,9 @@ Examples::
     python -m repro elect  --n 32 --algorithm tournament
     python -m repro sift   --n 64 --kind poison_pill --adversary sequential
     python -m repro rename --n 16 --algorithm paper --adversary quorum_split
-    python -m repro sweep  --task elect --ns 4 8 16 32 --repeats 5
+    python -m repro sweep  --task elect --ns 4 8 16 32 --repeats 5 --workers 4
+    python -m repro bench  --exp e1 --workers 4 --baseline --out bench/
+    python -m repro bench  --exp e2 --compare bench/BENCH_E2.json
     python -m repro trace  --n 16 --adversary sequential --seed 7 --out run.jsonl
     python -m repro replay run.jsonl
     python -m repro report run.jsonl
@@ -28,6 +30,7 @@ from .harness.runners import (
     run_renaming,
     run_sifting_phase,
 )
+from .harness.bench import EXPERIMENTS as BENCH_EXPERIMENTS
 from .harness.sweep import sweep
 from .harness.tables import Table
 
@@ -78,6 +81,42 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--adversary", choices=ADVERSARIES, default="random")
     sweep_p.add_argument("--algorithm", default=None)
     sweep_p.add_argument("--seed", type=int, default=0)
+    sweep_p.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the sweep (1 = serial, 0 = all CPUs)",
+    )
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="run a measured benchmark sweep; record or compare baselines",
+    )
+    bench_p.add_argument(
+        "--exp", choices=sorted(BENCH_EXPERIMENTS), nargs="+", default=["e1"],
+        help="experiment grids to run (DESIGN.md claim ids)",
+    )
+    bench_p.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes per cell (1 = serial, 0 = all CPUs)",
+    )
+    bench_p.add_argument("--repeats", type=int, default=3)
+    bench_p.add_argument(
+        "--full", action="store_true", help="use the larger EXPERIMENTS.md grids"
+    )
+    bench_p.add_argument(
+        "--baseline", action="store_true",
+        help="write BENCH_<EXP>.json baselines into --out",
+    )
+    bench_p.add_argument(
+        "--out", default=".", help="directory for baseline files (default: cwd)"
+    )
+    bench_p.add_argument(
+        "--compare", default=None, metavar="BENCH_JSON",
+        help="compare against a recorded baseline; exit 1 on regression/drift",
+    )
+    bench_p.add_argument(
+        "--check-serial", action="store_true",
+        help="also run serially and verify parallel results are identical",
+    )
 
     trace_p = sub.add_parser(
         "trace", help="run one task and record its event stream to JSONL"
@@ -182,7 +221,10 @@ def _cmd_sweep(args) -> int:
             "comm calls": lambda run: run.max_comm_calls,
             "messages": lambda run: run.messages_total,
         }
-    cells = sweep(args.ns, runner, repeats=args.repeats, seed_base=args.seed)
+    cells = sweep(
+        args.ns, runner, repeats=args.repeats, seed_base=args.seed,
+        workers=args.workers,
+    )
     table = Table(
         f"{args.task} sweep (adversary={args.adversary}, repeats={args.repeats})",
         ["n", *metrics],
@@ -194,6 +236,56 @@ def _cmd_sweep(args) -> int:
         table.add_row(*row)
     print(table.render())
     return 0
+
+
+def _cmd_bench(args) -> int:
+    from .harness.bench import (
+        compare_results,
+        load_result,
+        run_experiment,
+        verify_parallel_matches_serial,
+    )
+
+    exit_code = 0
+    for exp in args.exp:
+        if args.check_serial and args.workers != 1:
+            match, serial, result = verify_parallel_matches_serial(
+                exp, workers=args.workers, repeats=args.repeats, full=args.full
+            )
+            verdict = "identical" if match else "MISMATCH"
+            print(f"[{exp}] parallel (workers={args.workers}) vs serial: {verdict}")
+            if not match:
+                print(f"  serial fingerprints:   {serial.fingerprints}")
+                print(f"  parallel fingerprints: {result.fingerprints}")
+                exit_code = 1
+        else:
+            result = run_experiment(
+                exp, workers=args.workers, repeats=args.repeats, full=args.full
+            )
+        table = Table(
+            f"{exp}: {result.meta.get('title', '')} "
+            f"(workers={result.workers}, repeats={result.repeats})",
+            ["n", "wall s", "runs/s", "messages", "max comm calls"],
+        )
+        for cell in result.cells:
+            table.add_row(
+                cell.param,
+                round(cell.wall_s, 3),
+                round(cell.runs_per_s, 2),
+                cell.messages_total,
+                cell.max_comm_calls,
+            )
+        table.add_note(f"total wall-clock {result.wall_s_total:.3f}s")
+        print(table.render())
+        if args.baseline:
+            path = result.save(args.out)
+            print(f"baseline:      {path}")
+        if args.compare:
+            comparison = compare_results(load_result(args.compare), result)
+            print(comparison.describe())
+            if not comparison.ok:
+                exit_code = 1
+    return exit_code
 
 
 def _cmd_trace(args) -> int:
@@ -243,6 +335,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "sift": _cmd_sift,
         "rename": _cmd_rename,
         "sweep": _cmd_sweep,
+        "bench": _cmd_bench,
         "trace": _cmd_trace,
         "replay": _cmd_replay,
         "report": _cmd_report,

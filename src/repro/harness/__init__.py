@@ -1,5 +1,16 @@
-"""Experiment harness: workloads, runners, sweeps, and table rendering."""
+"""Experiment harness: workloads, runners, sweeps, benchmarking, and tables."""
 
+from .bench import (
+    EXPERIMENTS,
+    BenchCell,
+    BenchComparison,
+    BenchResult,
+    compare_results,
+    load_result,
+    run_experiment,
+    verify_parallel_matches_serial,
+)
+from .parallel import parallel_repeat, parallel_sweep
 from .runners import (
     LEADER_ALGORITHMS,
     RENAMING_ALGORITHMS,
@@ -22,10 +33,14 @@ from .workloads import (
 )
 
 __all__ = [
+    "EXPERIMENTS",
     "LEADER_ALGORITHMS",
     "PARTICIPATION_PATTERNS",
     "RENAMING_ALGORITHMS",
     "SIFTER_KINDS",
+    "BenchCell",
+    "BenchComparison",
+    "BenchResult",
     "LeaderElectionRun",
     "RenamingRun",
     "SiftingRun",
@@ -33,15 +48,21 @@ __all__ = [
     "Table",
     "cell_table",
     "choose_participants",
+    "compare_results",
     "crash_schedule_eager",
     "crash_schedule_random",
+    "load_result",
     "make_adversary",
     "merged_metrics",
+    "parallel_repeat",
+    "parallel_sweep",
     "profile_table",
     "render_series",
     "repeat",
+    "run_experiment",
     "run_leader_election",
     "run_renaming",
     "run_sifting_phase",
     "sweep",
+    "verify_parallel_matches_serial",
 ]

@@ -58,8 +58,20 @@ def repeat(
     repeats: int,
     seed_base: int = 0,
     label: str = "repeat",
+    workers: int = 1,
 ) -> list[R]:
-    """Run ``fn(seed)`` with ``repeats`` independent derived seeds."""
+    """Run ``fn(seed)`` with ``repeats`` independent derived seeds.
+
+    ``workers > 1`` fans the repetitions out over forked worker processes
+    (:mod:`repro.harness.parallel`); seeds and result order are identical
+    to the serial path, so the two are interchangeable.
+    """
+    if workers != 1:
+        from .parallel import parallel_repeat
+
+        return parallel_repeat(
+            fn, repeats, seed_base=seed_base, label=label, workers=workers
+        )
     if repeats < 1:
         raise ValueError("repeats must be at least 1")
     return [fn(derive_seed(seed_base, f"{label}/{i}")) for i in range(repeats)]
@@ -70,8 +82,20 @@ def sweep(
     fn: Callable[[P, int], R],
     repeats: int = 5,
     seed_base: int = 0,
+    workers: int = 1,
 ) -> list[SweepCell[P, R]]:
-    """Run ``fn(value, seed)`` over the grid; returns one cell per value."""
+    """Run ``fn(value, seed)`` over the grid; returns one cell per value.
+
+    ``workers > 1`` executes the whole grid over forked worker processes
+    with bit-identical per-cell results (see :mod:`repro.harness.parallel`
+    for the determinism argument); ``workers=0`` means all CPUs.
+    """
+    if workers != 1:
+        from .parallel import parallel_sweep
+
+        return parallel_sweep(
+            values, fn, repeats=repeats, seed_base=seed_base, workers=workers
+        )
     cells = []
     for value in values:
         runs = repeat(

@@ -55,13 +55,36 @@ class RegisterFile:
     The structure is ``{var: {key: (version, value, policy)}}``.  Keys are
     processor ids for per-processor cells and name indices for the renaming
     algorithm's ``Contended`` array.
+
+    **Payload sharing.**  :meth:`entries` with no key restriction returns
+    the *live* cell mapping and marks the variable shared, so one
+    ``communicate`` call can attach a single mapping to all ``n - 1``
+    outgoing messages without copying it per recipient.  The mapping is
+    frozen from that moment on: the next local :meth:`put` or :meth:`merge`
+    copies the cells before writing (copy-on-write), so every in-flight
+    message keeps an exact snapshot of the state at send time.  The
+    corollary invariant is that holders of a shared mapping — message
+    recipients, adversaries, checkers — must treat it as read-only.
     """
 
-    __slots__ = ("_vars", "_write_clocks")
+    __slots__ = ("_vars", "_write_clocks", "_shared")
 
     def __init__(self) -> None:
         self._vars: dict[str, dict[Hashable, Entry]] = {}
         self._write_clocks: dict[tuple[str, Hashable], int] = {}
+        self._shared: set[str] = set()
+
+    def _writable_cells(self, var: str) -> dict[Hashable, Entry]:
+        """The cell dict for ``var``, copied first if a snapshot shares it."""
+        cells = self._vars.get(var)
+        if cells is None:
+            cells = {}
+            self._vars[var] = cells
+        elif var in self._shared:
+            cells = dict(cells)
+            self._vars[var] = cells
+            self._shared.discard(var)
+        return cells
 
     def put(self, var: str, key: Hashable, value: Any, policy: str = POLICY_VERSION) -> None:
         """Perform a local write, bumping the writer-side version."""
@@ -70,7 +93,7 @@ class RegisterFile:
         clock_key = (var, key)
         version = self._write_clocks.get(clock_key, 0) + 1
         self._write_clocks[clock_key] = version
-        cells = self._vars.setdefault(var, {})
+        cells = self._writable_cells(var)
         cells[key] = merge_entry(cells.get(key), (version, value, policy))
 
     def get(self, var: str, key: Hashable, default: Any = None) -> Any:
@@ -90,16 +113,30 @@ class RegisterFile:
         """A plain ``{key: value}`` snapshot of one variable."""
         return {key: entry[1] for key, entry in self._vars.get(var, {}).items()}
 
-    def entries(self, var: str, keys: Iterable[Hashable] | None = None) -> dict[Hashable, Entry]:
-        """Raw entries for transmission; restricted to ``keys`` if given."""
-        cells = self._vars.get(var, {})
+    def entries(self, var: str, keys: Iterable[Hashable] | None = None) -> Mapping[Hashable, Entry]:
+        """Raw entries for transmission; restricted to ``keys`` if given.
+
+        The unrestricted form returns the live cell mapping and marks it
+        shared; the next local write copies first (see the class docstring).
+        Callers must not mutate the returned mapping.  The key-restricted
+        form always builds a fresh private dict.
+        """
+        cells = self._vars.get(var)
+        if cells is None:
+            return {}
         if keys is None:
-            return dict(cells)
+            self._shared.add(var)
+            return cells
         return {key: cells[key] for key in keys if key in cells}
 
     def merge(self, var: str, incoming: Mapping[Hashable, Entry]) -> None:
-        """Reconcile received entries into this view."""
-        cells = self._vars.setdefault(var, {})
+        """Reconcile received entries into this view.
+
+        ``incoming`` is typically a mapping shared by every recipient of a
+        PROPAGATE broadcast; it is only read, never written (the
+        copy-on-write contract of :meth:`entries`).
+        """
+        cells = self._writable_cells(var)
         for key, entry in incoming.items():
             cells[key] = merge_entry(cells.get(key), entry)
 

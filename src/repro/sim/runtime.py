@@ -28,6 +28,7 @@ paper's strong adaptive adversary exactly.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Mapping
 
@@ -163,6 +164,11 @@ class Simulation:
         self.clock = 0
         self.max_events = max_events if max_events is not None else 100_000 + 1_000 * n * n
         self._call_counter = 0
+        # Run-local message uid source: uids restart at 0 for every
+        # simulation, so back-to-back runs in one process are byte-identical
+        # (the module-global fallback in messages.py would leak earlier
+        # runs' message counts into this run's uids).
+        self._uid_counter = itertools.count()
         self._needs_step: set[int] = set(participants)
         self._undecided: set[int] = set(participants)
         self._crashed: set[int] = set()
@@ -344,6 +350,7 @@ class Simulation:
                     kind=MessageKind.ACK,
                     call_id=message.call_id,
                     var=message.var,
+                    uid=next(self._uid_counter),
                 ),
             )
         elif message.kind is MessageKind.COLLECT:
@@ -355,7 +362,10 @@ class Simulation:
                     kind=MessageKind.COLLECT_REPLY,
                     call_id=message.call_id,
                     var=message.var,
+                    # Shared copy-on-write snapshot of the responder's view;
+                    # zero-copy until the responder's next write to the var.
                     entries=recipient.registers.entries(message.var),
+                    uid=next(self._uid_counter),
                 ),
             )
         else:
@@ -474,6 +484,8 @@ class Simulation:
         needed_remote = self.n // 2  # quorum = floor(n/2) + 1, counting self
         pending = PendingCall(call_id=call_id, request=request, needed=needed_remote)
         if isinstance(request, Propagate):
+            # One payload mapping per communicate call, shared (frozen,
+            # copy-on-write — see RegisterFile.entries) by all n-1 messages.
             entries = process.registers.entries(request.var, request.keys)
             kind = MessageKind.PROPAGATE
         else:
@@ -481,18 +493,22 @@ class Simulation:
             pending.views = [process.registers.view(request.var)]
             kind = MessageKind.COLLECT
         process.pending = pending
+        uid_counter = self._uid_counter
+        pid = process.pid
+        var = request.var
         for recipient in range(self.n):
-            if recipient == process.pid:
+            if recipient == pid:
                 continue
             self._send(
                 process,
                 Message(
-                    sender=process.pid,
+                    sender=pid,
                     recipient=recipient,
                     kind=kind,
                     call_id=call_id,
-                    var=request.var,
+                    var=var,
                     entries=entries,
+                    uid=next(uid_counter),
                 ),
             )
         if pending.satisfied:

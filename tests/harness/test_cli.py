@@ -30,6 +30,27 @@ class TestParser:
         args = build_parser().parse_args(["sweep", "--ns", "4", "8"])
         assert args.ns == [4, 8]
 
+    def test_sweep_workers_default_serial(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.workers == 1
+
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.exp == ["e1"]
+        assert args.workers == 1
+        assert args.repeats == 3
+        assert not args.baseline
+        assert args.compare is None
+        assert not args.check_serial
+
+    def test_bench_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--exp", "e99"])
+
+    def test_bench_multiple_experiments(self):
+        args = build_parser().parse_args(["bench", "--exp", "e1", "e3"])
+        assert args.exp == ["e1", "e3"]
+
 
 class TestCommands:
     def test_elect(self, capsys):
@@ -72,3 +93,36 @@ class TestCommands:
     def test_partial_participation(self, capsys):
         assert main(["elect", "--n", "8", "--k", "3", "--pattern", "spread"]) == 0
         assert "winner:" in capsys.readouterr().out
+
+    def test_sweep_parallel_matches_serial_output(self, capsys):
+        argv = ["sweep", "--task", "elect", "--ns", "4", "8", "--repeats", "2"]
+        assert main(argv) == 0
+        serial_out = capsys.readouterr().out
+        assert main([*argv, "--workers", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert parallel_out == serial_out
+
+    def test_bench_writes_baseline(self, capsys, tmp_path, monkeypatch):
+        assert main([
+            "bench", "--exp", "e1", "--repeats", "1",
+            "--baseline", "--out", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "wall s" in out
+        assert (tmp_path / "BENCH_E1.json").exists()
+
+    def test_bench_compare_against_fresh_baseline_ok(self, capsys, tmp_path):
+        baseline_path = tmp_path / "BENCH_E1.json"
+        assert main(["bench", "--exp", "e1", "--repeats", "1",
+                     "--baseline", "--out", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["bench", "--exp", "e1", "--repeats", "1",
+                     "--compare", str(baseline_path)]) == 0
+        out = capsys.readouterr().out
+        assert "bench comparison" in out
+        assert "verdict: OK" in out
+
+    def test_bench_check_serial(self, capsys):
+        assert main(["bench", "--exp", "e1", "--repeats", "1",
+                     "--workers", "2", "--check-serial"]) == 0
+        assert "identical" in capsys.readouterr().out

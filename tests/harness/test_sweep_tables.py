@@ -2,10 +2,14 @@
 
 from __future__ import annotations
 
+import itertools
+
 import pytest
 
-from repro.harness.sweep import SweepCell, cell_table, repeat, sweep
+from repro.harness.sweep import SweepCell, cell_table, merged_metrics, repeat, sweep
 from repro.harness.tables import Table, render_series
+from repro.sim.messages import MessageKind
+from repro.sim.trace import Metrics
 
 
 class TestRepeat:
@@ -55,6 +59,71 @@ class TestSweep:
     def test_seeds_vary_across_values(self):
         cells = sweep([1, 2], lambda value, seed: seed, repeats=1)
         assert cells[0].runs != cells[1].runs
+
+
+def _metrics(n, sends=(), comm_calls=(), steps=0):
+    """Build a Metrics instance with explicit per-processor activity."""
+    metrics = Metrics(n)
+    for sender, kind, cells in sends:
+        metrics.record_send(sender, kind, cells)
+    for pid in comm_calls:
+        metrics.record_comm_call(pid)
+    metrics.steps = steps
+    metrics.events_executed = steps
+    return metrics
+
+
+class TestMergedMetrics:
+    """The parallel path folds per-worker counters with ``merged_metrics``;
+    the fold must equal serial accumulation regardless of worker order."""
+
+    def _samples(self):
+        return [
+            _metrics(2, sends=[(0, MessageKind.PROPAGATE, 3)],
+                     comm_calls=[0], steps=2),
+            _metrics(4, sends=[(3, MessageKind.ACK, 0),
+                               (1, MessageKind.COLLECT, 0)],
+                     comm_calls=[1, 1, 3], steps=5),
+            _metrics(3, sends=[(2, MessageKind.COLLECT_REPLY, 7)],
+                     comm_calls=[2], steps=1),
+        ]
+
+    def test_empty_input_returns_none(self):
+        assert merged_metrics([]) is None
+
+    def test_accepts_bare_metrics_instances(self):
+        merged = merged_metrics(self._samples())
+        assert merged is not None
+        assert merged.messages_total == 4
+        assert merged.payload_cells == 10
+        assert merged.steps == 8
+
+    def test_any_merge_order_equals_serial_accumulation(self):
+        samples = self._samples()
+        reference = merged_metrics(samples).summary()
+        reference_calls = merged_metrics(samples).comm_calls_by
+        for ordering in itertools.permutations(samples):
+            merged = merged_metrics(ordering)
+            assert merged.summary() == reference
+            assert merged.comm_calls_by == reference_calls
+
+    def test_mixed_system_sizes_pad_per_processor_lists(self):
+        small = _metrics(2, comm_calls=[1])
+        large = _metrics(5, comm_calls=[4, 4])
+        merged = merged_metrics([small, large])
+        assert merged.comm_calls_by == [0, 1, 0, 0, 2]
+        merged_reversed = merged_metrics([large, small])
+        assert merged_reversed.comm_calls_by == merged.comm_calls_by
+
+    def test_n_zero_edge_max_comm_calls(self):
+        """The documented edge: an n=0 Metrics has max_comm_calls == 0 and
+        merging it in (in any position) never perturbs the maximum."""
+        empty = Metrics(0)
+        assert empty.max_comm_calls == 0
+        busy = _metrics(3, comm_calls=[0, 0, 2])
+        assert merged_metrics([empty, busy]).max_comm_calls == 2
+        assert merged_metrics([busy, empty]).max_comm_calls == 2
+        assert merged_metrics([Metrics(0), Metrics(0)]).max_comm_calls == 0
 
 
 class TestTable:

@@ -34,6 +34,60 @@ class TestMessage:
         assert a == a
 
 
+class TestUidDeterminism:
+    """Message uids are run-local, so back-to-back runs are reproducible.
+
+    Regression tests for the old module-global counter: uids (and anything
+    that reads them, like uid-based tie-breaking) used to depend on how
+    many simulations had already run in the process.
+    """
+
+    @staticmethod
+    def _delivered_uids(seed=3):
+        from repro.adversary.fifo import EagerAdversary
+        from repro.core import make_leader_elect
+        from repro.sim.runtime import Deliver, Simulation
+
+        uids = []
+
+        class RecordingAdversary(EagerAdversary):
+            def choose(self, sim):
+                action = super().choose(sim)
+                if isinstance(action, Deliver):
+                    uids.append(action.message.uid)
+                return action
+
+        sim = Simulation(
+            n=5,
+            participants={pid: make_leader_elect() for pid in range(5)},
+            adversary=RecordingAdversary(),
+            seed=seed,
+        )
+        sim.run()
+        return uids
+
+    def test_identical_runs_see_identical_uids(self):
+        first = self._delivered_uids()
+        # Burn some uids from the module-global fallback counter between
+        # the runs; a per-simulation counter must not notice.
+        for _ in range(100):
+            msg()
+        second = self._delivered_uids()
+        assert first == second
+        assert first[0] < 100  # uids restart near zero for every run
+
+    def test_back_to_back_traces_byte_identical(self, tmp_path):
+        from repro.obs.replay import record_trace
+
+        first = tmp_path / "first.jsonl"
+        second = tmp_path / "second.jsonl"
+        record_trace(str(first), task="elect", n=8,
+                     adversary="sequential", seed=7)
+        record_trace(str(second), task="elect", n=8,
+                     adversary="sequential", seed=7)
+        assert first.read_bytes() == second.read_bytes()
+
+
 class TestInFlightPool:
     def test_empty_pool(self):
         pool = InFlightPool()

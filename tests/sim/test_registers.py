@@ -183,3 +183,70 @@ class TestRegisterFile:
         registers.put("A", 0, 1)
         registers.put("A", 5, 1)
         assert set(registers.keys("A")) == {0, 5}
+
+
+class TestPayloadSharing:
+    """The copy-on-write contract of ``entries``.
+
+    A full ``entries(var)`` payload is attached to every outgoing message
+    of a communicate call without per-recipient copying, so it must behave
+    as a frozen snapshot: later local writes and merges by the owner must
+    never show through an already-exported mapping.
+    """
+
+    def test_shared_entries_frozen_across_put(self):
+        registers = RegisterFile()
+        registers.put("Status", 1, "commit")
+        shared = registers.entries("Status")
+        registers.put("Status", 1, "low")
+        assert shared[1][1] == "commit"  # the snapshot did not move
+        assert registers.get("Status", 1) == "low"
+
+    def test_shared_entries_frozen_across_merge(self):
+        registers = RegisterFile()
+        registers.put("Round", 0, 3, POLICY_MAX)
+        shared = registers.entries("Round")
+        registers.merge("Round", {0: (1, 9, POLICY_MAX), 2: (1, 4, POLICY_MAX)})
+        assert dict(shared) == {0: (1, 3, POLICY_MAX)}
+        assert registers.get("Round", 0) == 9
+        assert registers.get("Round", 2) == 4
+
+    def test_new_key_does_not_appear_in_old_snapshot(self):
+        registers = RegisterFile()
+        registers.put("Status", 1, "commit")
+        shared = registers.entries("Status")
+        registers.put("Status", 2, "commit")
+        assert 2 not in shared
+        assert 2 in registers.entries("Status")
+
+    def test_repeated_reads_share_without_intervening_writes(self):
+        registers = RegisterFile()
+        registers.put("Status", 1, "commit")
+        assert registers.entries("Status") is registers.entries("Status")
+
+    def test_restricted_entries_are_private_copies(self):
+        registers = RegisterFile()
+        registers.put("Status", 1, "commit")
+        restricted = registers.entries("Status", keys=(1,))
+        registers.put("Status", 1, "low")
+        assert restricted[1][1] == "commit"
+        assert restricted is not registers.entries("Status", keys=(1,))
+
+    def test_missing_var_yields_empty_mapping(self):
+        registers = RegisterFile()
+        empty = registers.entries("Nope")
+        assert dict(empty) == {}
+        registers.put("Nope", 0, 1)
+        assert 0 not in empty
+
+    def test_merging_a_shared_payload_leaves_it_intact(self):
+        sender = RegisterFile()
+        sender.put("Status", 7, "commit")
+        payload = sender.entries("Status")
+        before = dict(payload)
+        receiver = RegisterFile()
+        receiver.merge("Status", payload)
+        receiver.put("Status", 8, "low")
+        receiver.merge("Status", {7: (5, "remote", POLICY_VERSION)})
+        assert dict(payload) == before  # recipients never mutate payloads
+        assert receiver.get("Status", 7) == "remote"
