@@ -47,7 +47,16 @@ class Adversary(abc.ABC):
     name: str = "adversary"
 
     def setup(self, sim: "Simulation") -> None:
-        """Hook called once before the first action is requested."""
+        """Hook called once per run, before the first action is requested.
+
+        Reuse contract: an adversary instance may drive multiple runs
+        (replay, shrinking, repeated trials), and ``setup`` is the reset
+        point — implementations MUST restore every piece of per-run
+        mutable state here (schedule cursors, consumed RNG streams,
+        caches keyed on the previous simulation).  An adversary whose
+        behaviour is a pure function of its constructor arguments then
+        stays one across reuse.
+        """
 
     @abc.abstractmethod
     def choose(self, sim: "Simulation") -> Action | None:

@@ -42,6 +42,7 @@ class BubbleAdversary(Adversary):
         self._threshold = 0
 
     def setup(self, sim: "Simulation") -> None:
+        """Build this run's bubble set and release threshold."""
         if self._bubble_arg is not None:
             bubble = set(self._bubble_arg)
         else:
@@ -71,6 +72,7 @@ class BubbleAdversary(Adversary):
                 self._unreleased.discard(pid)
 
     def choose(self, sim: "Simulation") -> Action | None:
+        """Deliver/step outside the bubble; release members as traffic piles up."""
         self._apply_releases(sim)
         pool = sim.in_flight.messages
         for message in reversed(pool):

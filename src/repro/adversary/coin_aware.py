@@ -36,6 +36,11 @@ class CoinAwareAdversary(Adversary):
         self._started_all = False
         self._order: list[int] | None = None
 
+    def setup(self, sim: "Simulation") -> None:
+        """Forget the previous run's coin ordering (adversary reuse contract)."""
+        self._started_all = False
+        self._order = None
+
     def _ordered_focus(self, sim: "Simulation") -> int | None:
         if self._order is None:
             # All coins that will ever matter for ordering are flipped by
@@ -52,6 +57,7 @@ class CoinAwareAdversary(Adversary):
         return None
 
     def choose(self, sim: "Simulation") -> Action | None:
+        """Start everyone once, then run 0-flippers to completion first."""
         if not self._started_all:
             # Phase A: give every participant exactly one computation step
             # so each one flips (or commits) and its first announcement is

@@ -39,9 +39,18 @@ class CrashingAdversary(Adversary):
         self.name = f"crashing+{inner.name}"
 
     def setup(self, sim: "Simulation") -> None:
+        """Rewind the crash-schedule cursor (adversary reuse contract).
+
+        Without the rewind, a reused instance would skip every crash the
+        previous run already fired — e.g. when re-running a recorded
+        execution for analysis or shrinking — silently producing a
+        crash-free schedule instead of the recorded one.
+        """
+        self._next = 0
         self._inner.setup(sim)
 
     def choose(self, sim: "Simulation") -> Action | None:
+        """Fire any due scheduled crash, else defer to the inner scheduler."""
         while self._next < len(self._schedule):
             at_event, pid = self._schedule[self._next]
             if sim.metrics.events_executed < at_event:
@@ -68,14 +77,23 @@ class RandomCrashAdversary(Adversary):
             raise ValueError("rate must be within [0, 1]")
         self._inner = inner
         self._rate = rate
+        self._seed = seed
         self._rng = make_stream(seed, "adversary/random_crash")
         self._max_crashes = max_crashes
         self.name = f"random_crash+{inner.name}"
 
     def setup(self, sim: "Simulation") -> None:
+        """Re-derive the crash RNG (adversary reuse contract).
+
+        The stream is consumed as the run progresses; re-deriving it from
+        the stored seed makes a reused instance crash at the same points
+        as a fresh one, so runs stay pure functions of ``(seed, inner)``.
+        """
+        self._rng = make_stream(self._seed, "adversary/random_crash")
         self._inner.setup(sim)
 
     def choose(self, sim: "Simulation") -> Action | None:
+        """Maybe crash a random alive processor, else defer to the inner scheduler."""
         budget = sim.crashes_remaining
         if self._max_crashes is not None:
             budget = min(budget, self._max_crashes - len(sim.crashed))

@@ -29,6 +29,7 @@ class EagerAdversary(Adversary):
     name = "eager"
 
     def choose(self, sim: "Simulation") -> Action | None:
+        """Deliver newest-first via the deterministic fallback."""
         return fallback_action(sim)
 
 
@@ -40,7 +41,12 @@ class RoundRobinAdversary(Adversary):
     def __init__(self) -> None:
         self._next_pid = 0
 
+    def setup(self, sim: "Simulation") -> None:
+        """Rewind the rotation cursor (adversary reuse contract)."""
+        self._next_pid = 0
+
     def choose(self, sim: "Simulation") -> Action | None:
+        """Drain in-flight messages, else step the next processor in rotation."""
         message = sim.in_flight.any_message()
         if message is not None:
             return Deliver(message)

@@ -30,10 +30,16 @@ class ObliviousAdversary(Adversary):
     name = "oblivious"
 
     def __init__(self, seed: int = 0, deliver_bias: float = 0.75) -> None:
+        self._seed = seed
         self._rng = make_stream(seed, "adversary/oblivious")
         self._deliver_bias = deliver_bias
 
+    def setup(self, sim: "Simulation") -> None:
+        """Re-derive the scheduling RNG (adversary reuse contract)."""
+        self._rng = make_stream(self._seed, "adversary/oblivious")
+
     def choose(self, sim: "Simulation") -> Action | None:
+        """Pick a delivery or step from private randomness only (state-blind)."""
         pool = sim.in_flight.messages
         steppable = sim.steppable
         if pool and (not steppable or self._rng.random() < self._deliver_bias):

@@ -28,19 +28,25 @@ class QuorumSplitAdversary(Adversary):
     name = "quorum_split"
 
     def __init__(self, first_half: Iterable[int] | None = None) -> None:
-        self._half: frozenset[int] | None = (
+        self._half_arg: frozenset[int] | None = (
             frozenset(first_half) if first_half is not None else None
         )
+        self._half: frozenset[int] | None = self._half_arg
 
     def setup(self, sim: "Simulation") -> None:
-        if self._half is None:
-            self._half = frozenset(range(sim.n // 2))
+        """Re-derive the default split per run (adversary reuse contract)."""
+        self._half = (
+            self._half_arg
+            if self._half_arg is not None
+            else frozenset(range(sim.n // 2))
+        )
 
     def _same_half(self, sender: int, recipient: int) -> bool:
         assert self._half is not None
         return (sender in self._half) == (recipient in self._half)
 
     def choose(self, sim: "Simulation") -> Action | None:
+        """Deliver same-half traffic when possible, leaking cross-half minimally."""
         pool = sim.in_flight.messages
         # Newest-first bounded scan: same-half messages are usually near the
         # top because cross-half ones are exactly the ones we keep skipping.

@@ -32,10 +32,16 @@ class RandomAdversary(Adversary):
     def __init__(self, seed: int = 0, deliver_bias: float = 0.75) -> None:
         if not 0.0 < deliver_bias < 1.0:
             raise ValueError("deliver_bias must be strictly between 0 and 1")
+        self._seed = seed
         self._rng = make_stream(seed, "adversary/random")
         self._deliver_bias = deliver_bias
 
+    def setup(self, sim: "Simulation") -> None:
+        """Re-derive the scheduling RNG (adversary reuse contract)."""
+        self._rng = make_stream(self._seed, "adversary/random")
+
     def choose(self, sim: "Simulation") -> Action | None:
+        """Deliver or step a uniformly random enabled target."""
         pool = sim.in_flight.messages
         steppable = sim.steppable
         if pool and (not steppable or self._rng.random() < self._deliver_bias):

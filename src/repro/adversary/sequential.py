@@ -30,11 +30,16 @@ class SequentialAdversary(Adversary):
     name = "sequential"
 
     def __init__(self, order: Sequence[int] | None = None) -> None:
-        self._order = list(order) if order is not None else None
+        self._order_arg = list(order) if order is not None else None
+        self._order: list[int] | None = self._order_arg
 
     def setup(self, sim: "Simulation") -> None:
-        if self._order is None:
-            self._order = sorted(sim.undecided)
+        """Re-derive the default order per run (adversary reuse contract)."""
+        self._order = (
+            self._order_arg
+            if self._order_arg is not None
+            else sorted(sim.undecided)
+        )
 
     def _focus(self, sim: "Simulation") -> int | None:
         assert self._order is not None
@@ -45,6 +50,7 @@ class SequentialAdversary(Adversary):
         return None
 
     def choose(self, sim: "Simulation") -> Action | None:
+        """Advance the current focus processor; feed it only the traffic it needs."""
         focus = self._focus(sim)
         if focus is not None and focus in sim.steppable:
             return Step(focus)

@@ -51,6 +51,7 @@ class IterationRecord:
 
     @property
     def completed_pick(self) -> bool:
+        """True once this iteration committed to a spot."""
         return self.spot is not None
 
 
@@ -87,6 +88,7 @@ class RenamingAnalysis:
     def from_result(
         cls, result: SimulationResult, namespace: str = "rn"
     ) -> "RenamingAnalysis":
+        """Reconstruct per-processor renaming iterations from a finished run."""
         if not result.trace.events:
             raise ValueError(
                 "renaming analysis needs record_events=True on the simulation"

@@ -25,6 +25,7 @@ class Summary:
 
     @property
     def stderr(self) -> float:
+        """Standard error of the mean."""
         return self.stdev / math.sqrt(self.count) if self.count > 0 else 0.0
 
     def ci95(self) -> tuple[float, float]:

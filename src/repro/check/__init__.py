@@ -1,0 +1,76 @@
+"""Schedule exploration and invariant checking for the paper's claims.
+
+``repro.check`` turns the paper's adversarial guarantees into
+machine-checked properties:
+
+* :mod:`repro.check.invariants` — the registry of named invariants
+  (unique winner, at-least-one-survivor, linearizability, name
+  uniqueness, ...) mapped to the claims and lemmas they reproduce, plus
+  the protocol registry ``repro check`` can target.
+* :mod:`repro.check.explore` — the explorer: randomized, crash-storm,
+  and bounded-systematic schedule search over a trial budget, fanned
+  out across worker processes.
+* :mod:`repro.check.shrink` — schedule minimization for violations and
+  the replayable artifact / repro-script machinery.
+
+Entry point: :func:`repro.check.explore.explore`, surfaced on the CLI
+as ``repro check``.
+"""
+
+from .explore import (
+    CheckReport,
+    DEFAULT_ADVERSARIES,
+    MODES,
+    TrialOutcome,
+    TrialSpec,
+    ViolationRecord,
+    explore,
+    plan_trials,
+    run_trial,
+)
+from .invariants import (
+    CORE_PROTOCOLS,
+    INVARIANTS,
+    PROTOCOLS,
+    CheckContext,
+    Invariant,
+    ProtocolSpec,
+    TrialStats,
+    invariants_for,
+)
+from .shrink import (
+    ArtifactReplay,
+    SchedulePrefixAdversary,
+    ShrinkResult,
+    load_artifact,
+    replay_artifact,
+    shrink_schedule,
+    shrink_violation,
+)
+
+__all__ = [
+    "ArtifactReplay",
+    "CheckContext",
+    "CheckReport",
+    "CORE_PROTOCOLS",
+    "DEFAULT_ADVERSARIES",
+    "INVARIANTS",
+    "Invariant",
+    "MODES",
+    "PROTOCOLS",
+    "ProtocolSpec",
+    "SchedulePrefixAdversary",
+    "ShrinkResult",
+    "TrialOutcome",
+    "TrialSpec",
+    "TrialStats",
+    "ViolationRecord",
+    "explore",
+    "invariants_for",
+    "load_artifact",
+    "plan_trials",
+    "replay_artifact",
+    "run_trial",
+    "shrink_schedule",
+    "shrink_violation",
+]

@@ -12,6 +12,9 @@ Examples::
     python -m repro trace  --n 16 --adversary sequential --seed 7 --out run.jsonl
     python -m repro replay run.jsonl
     python -m repro report run.jsonl
+    python -m repro check  --protocol leader_election --budget 200 --workers 4
+    python -m repro check  --protocol naive_sifter --budget 200 --out-dir artifacts/
+    python -m repro check  --replay artifacts/violation-....shrunk.json
 """
 
 from __future__ import annotations
@@ -144,6 +147,81 @@ def build_parser() -> argparse.ArgumentParser:
         help="print per-round survivor and message rollups of a recorded trace",
     )
     report_p.add_argument("trace", help="path of a recorded trace (JSONL)")
+
+    from .check.explore import DEFAULT_ADVERSARIES, MODES
+    from .check.invariants import INVARIANTS, PROTOCOLS
+
+    check_p = sub.add_parser(
+        "check",
+        help=(
+            "explore schedules of a protocol and check the paper's "
+            "invariants; shrink and persist any violation"
+        ),
+    )
+    check_p.add_argument(
+        "--protocol", choices=sorted(PROTOCOLS), default="leader_election",
+        help="protocol to check (includes known-bad negative controls)",
+    )
+    check_p.add_argument("--n", type=int, default=16, help="system size")
+    check_p.add_argument(
+        "--k", type=int, default=None, help="participants (default n)"
+    )
+    check_p.add_argument("--seed", type=int, default=0, help="master seed")
+    check_p.add_argument(
+        "--budget", type=int, default=200, help="total executions to explore"
+    )
+    check_p.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (1 = serial, 0 = all CPUs)",
+    )
+    check_p.add_argument(
+        "--invariants", nargs="+", default=None, metavar="NAME",
+        choices=sorted(INVARIANTS),
+        help="restrict to these invariants (default: all for the task)",
+    )
+    check_p.add_argument(
+        "--modes", nargs="+", default=list(MODES), choices=MODES,
+        help="exploration modes to use",
+    )
+    check_p.add_argument(
+        "--adversaries", nargs="+", default=list(DEFAULT_ADVERSARIES),
+        choices=ADVERSARIES,
+        help="scheduler registry names to rotate through",
+    )
+    check_p.add_argument(
+        "--pattern",
+        choices=("first", "last", "spread", "random"),
+        default="first",
+        help="which pids participate",
+    )
+    check_p.add_argument(
+        "--depth", type=int, default=4,
+        help="systematic mode: max choice-prefix depth",
+    )
+    check_p.add_argument(
+        "--branching", type=int, default=4,
+        help="systematic mode: choices considered per decision point",
+    )
+    no_shrink = check_p.add_mutually_exclusive_group()
+    no_shrink.add_argument(
+        "--shrink", dest="shrink", action="store_true", default=True,
+        help="minimize violating schedules and write artifacts (default)",
+    )
+    no_shrink.add_argument(
+        "--no-shrink", dest="shrink", action="store_false",
+        help="report violations without shrinking",
+    )
+    check_p.add_argument(
+        "--out-dir", default=".",
+        help="directory for violation artifacts (default: cwd)",
+    )
+    check_p.add_argument(
+        "--replay", default=None, metavar="ARTIFACT_JSON",
+        help=(
+            "re-execute a shrunk violation artifact and verify it "
+            "reproduces byte-identically (ignores exploration flags)"
+        ),
+    )
     return parser
 
 
@@ -327,6 +405,39 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    from .check.explore import explore
+    from .check.shrink import replay_artifact
+
+    if args.replay is not None:
+        try:
+            replay = replay_artifact(args.replay)
+        except (OSError, ValueError, KeyError) as error:
+            print(f"error: {error}")
+            return 2
+        print(replay.describe())
+        return 0 if replay.ok else 1
+
+    report = explore(
+        args.protocol,
+        n=args.n,
+        k=args.k,
+        budget=args.budget,
+        seed=args.seed,
+        workers=args.workers,
+        invariants=args.invariants,
+        adversaries=tuple(args.adversaries),
+        modes=tuple(args.modes),
+        branching=args.branching,
+        depth=args.depth,
+        pattern=args.pattern,
+        shrink=args.shrink,
+        out_dir=args.out_dir,
+    )
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -339,6 +450,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "trace": _cmd_trace,
         "replay": _cmd_replay,
         "report": _cmd_report,
+        "check": _cmd_check,
     }
     return handlers[args.command](args)
 

@@ -109,14 +109,17 @@ class LeaderElectionRun:
 
     @property
     def winner(self) -> int | None:
+        """The elected processor id, or None if nobody won."""
         return self.report.winner
 
     @property
     def max_comm_calls(self) -> int:
+        """Maximum communicate calls made by any single processor."""
         return self.result.metrics.max_comm_calls
 
     @property
     def messages_total(self) -> int:
+        """Total messages sent across the execution."""
         return self.result.metrics.messages_total
 
 
@@ -190,6 +193,7 @@ class SiftingRun:
 
     @property
     def survivor_fraction(self) -> float:
+        """Surviving fraction of the participant set."""
         return self.survivors / self.k if self.k else 0.0
 
 
@@ -253,10 +257,12 @@ class RenamingRun:
 
     @property
     def max_comm_calls(self) -> int:
+        """Maximum communicate calls made by any single processor."""
         return self.result.metrics.max_comm_calls
 
     @property
     def messages_total(self) -> int:
+        """Total messages sent across the execution."""
         return self.result.metrics.messages_total
 
 

@@ -77,6 +77,7 @@ class TraceAggregator:
     # ------------------------------------------------------------------
 
     def emit(self, event: Event) -> None:
+        """Fold one event into the running rollups."""
         self.events_seen += 1
         self.last_clock = event.time
         counts = self.counts_by_type
@@ -86,6 +87,7 @@ class TraceAggregator:
             handler(self, event)
 
     def close(self) -> None:
+        """No-op: aggregation state stays readable after the run."""
         pass
 
     def feed(self, events: Iterable[Event]) -> "TraceAggregator":
@@ -211,6 +213,7 @@ class TraceAggregator:
 
     @property
     def messages_total(self) -> int:
+        """Total messages sent, summed over the kind histogram."""
         return sum(self.message_histogram.values())
 
     def comm_duration_summary(self, pid: int | None = None):

@@ -141,9 +141,11 @@ class ListSink:
         self.events: list[Event] = []
 
     def emit(self, event: Event) -> None:
+        """Append the event to the in-memory list."""
         self.events.append(event)
 
     def close(self) -> None:
+        """No-op: the collected events stay readable."""
         pass
 
     def of_type(self, etype: str) -> list[Event]:
@@ -168,12 +170,15 @@ class RingBufferSink:
 
     @property
     def capacity(self) -> int:
+        """Maximum number of retained events."""
         return self._buffer.maxlen or 0
 
     def emit(self, event: Event) -> None:
+        """Append the event, evicting the oldest past capacity."""
         self._buffer.append(event)
 
     def close(self) -> None:
+        """No-op: the retained window stays readable."""
         pass
 
     @property
@@ -194,10 +199,12 @@ class MultiSink:
         self.sinks: tuple[EventSink, ...] = sinks
 
     def emit(self, event: Event) -> None:
+        """Forward the event to every child sink."""
         for sink in self.sinks:
             sink.emit(event)
 
     def close(self) -> None:
+        """Close every child sink."""
         for sink in self.sinks:
             sink.close()
 
@@ -211,9 +218,11 @@ class CallbackSink:
         self._callback = callback
 
     def emit(self, event: Event) -> None:
+        """Invoke the callback with the event."""
         self._callback(event)
 
     def close(self) -> None:
+        """No-op: callbacks hold no resources."""
         pass
 
 

@@ -68,6 +68,7 @@ class JsonlSink:
             )
 
     def emit(self, event: Event) -> None:
+        """Buffer the event's canonical JSONL line."""
         self._lines.append(event_line(event))
 
     @property
@@ -76,6 +77,7 @@ class JsonlSink:
         return len(self._lines)
 
     def close(self) -> None:
+        """Flush buffered lines and close the file if this sink opened it."""
         if self._lines:
             self._fp.write("\n".join(self._lines))
             self._fp.write("\n")

@@ -30,9 +30,11 @@ class SpanStats:
 
     @property
     def mean(self) -> float:
+        """Mean elapsed seconds per span."""
         return self.total / self.count if self.count else 0.0
 
     def add(self, elapsed: float) -> None:
+        """Fold one span duration into the stats."""
         self.count += 1
         self.total += elapsed
         if elapsed > self.maximum:
@@ -73,6 +75,7 @@ class Profiler:
         return sorted(self._spans.values(), key=lambda s: -s.total)
 
     def get(self, name: str) -> SpanStats | None:
+        """Stats for one span name, or None if never entered."""
         return self._spans.get(name)
 
     def total_seconds(self) -> float:

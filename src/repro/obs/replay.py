@@ -72,6 +72,7 @@ class ScriptedAdversary(Adversary):
         return len(self._schedule) - self._cursor
 
     def choose(self, sim: "Simulation") -> Action | None:
+        """Re-issue the next recorded schedule entry as a live action."""
         if self._cursor >= len(self._schedule):
             return None
         entry = self._schedule[self._cursor]
@@ -137,6 +138,7 @@ class ReplayReport:
         )
 
     def describe(self) -> str:
+        """Human-readable verdict for the CLI."""
         if self.ok:
             return (
                 f"replay OK: {self.replayed_events:,} events match the "

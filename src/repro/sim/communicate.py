@@ -50,6 +50,7 @@ class PendingCall:
 
     @property
     def satisfied(self) -> bool:
+        """True once a majority quorum of acknowledgements arrived."""
         return self.acks >= self.needed
 
     def result(self) -> Sequence[dict[Hashable, Any]] | None:

@@ -27,6 +27,7 @@ AlgorithmFactory = Callable[["ProcessAPI"], AlgorithmCoroutine]
 
 
 class ProcessStatus(Enum):
+    """Lifecycle states of a simulated processor."""
     IDLE = "idle"          # participant whose coroutine has not been started
     RUNNING = "running"    # participant mid-protocol
     DONE = "done"          # participant returned a value
@@ -91,14 +92,17 @@ class Process:
 
     @property
     def is_participant(self) -> bool:
+        """True iff this processor runs a protocol in this execution."""
         return self.factory is not None
 
     @property
     def alive(self) -> bool:
+        """True until the adversary crashes this processor."""
         return self.status is not ProcessStatus.CRASHED
 
     @property
     def decided(self) -> bool:
+        """True once the protocol coroutine returned a decision."""
         return self.status is ProcessStatus.DONE
 
     def start(self) -> AlgorithmCoroutine:

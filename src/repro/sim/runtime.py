@@ -55,16 +55,19 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
 
 @dataclass(frozen=True, slots=True)
 class Deliver:
+    """Adversary action: deliver one in-flight message."""
     message: Message
 
 
 @dataclass(frozen=True, slots=True)
 class Step:
+    """Adversary action: run one computation step of processor ``pid``."""
     pid: int
 
 
 @dataclass(frozen=True, slots=True)
 class Crash:
+    """Adversary action: crash processor ``pid`` (within the budget)."""
     pid: int
 
 
@@ -105,6 +108,7 @@ class SimulationResult:
 
     @property
     def outcomes(self) -> dict[int, Any]:
+        """Map of pid to decided value, for assertion-friendly access."""
         return {pid: decision.result for pid, decision in self.decisions.items()}
 
     @property
@@ -215,6 +219,7 @@ class Simulation:
 
     @property
     def crashed(self) -> frozenset[int]:
+        """The crashed processor ids, as an immutable set."""
         return frozenset(self._crashed)
 
     @property
@@ -224,6 +229,7 @@ class Simulation:
 
     @property
     def crashes_remaining(self) -> int:
+        """How many more crashes the ``t <= ceil(n/2) - 1`` budget allows."""
         return self.crash_budget - len(self._crashed)
 
     def process(self, pid: int) -> Process:

@@ -105,3 +105,43 @@ class TestRandomCrashAdversary:
             result = sim.run(require_termination=False)
             # Everyone alive decided (the budget keeps quorums reachable).
             assert not result.undecided
+
+
+class TestAdversaryReuse:
+    """Regression tests for the setup() per-run-state reset contract.
+
+    A reused adversary instance must behave exactly like a fresh one:
+    replay and shrinking re-drive runs through the same instance, so any
+    surviving cursor or consumed RNG stream silently changes the
+    schedule (historically: CrashingAdversary skipped all crashes on its
+    second run, RandomCrashAdversary crashed at different points).
+    """
+
+    def _crash_sets(self, adversary, runs=2, n=9):
+        observed = []
+        for _ in range(runs):
+            sim = Simulation(n, {0: ping_factory}, adversary, seed=0)
+            observed.append(frozenset(sim.run().crashed))
+        return observed
+
+    def test_crashing_adversary_replays_schedule_on_reuse(self):
+        adversary = CrashingAdversary(EagerAdversary(), [(0, 3), (5, 4)])
+        first, second = self._crash_sets(adversary)
+        assert first == {3, 4}
+        assert second == first  # cursor rewound: crashes fire again
+
+    def test_random_crash_adversary_identical_on_reuse(self):
+        adversary = RandomCrashAdversary(EagerAdversary(), rate=0.2, seed=7)
+        first, second = self._crash_sets(adversary)
+        assert first  # the 20% rate crashed someone
+        assert second == first  # RNG re-derived: same crash points
+
+    def test_reused_equals_fresh(self):
+        def fresh():
+            return RandomCrashAdversary(EagerAdversary(), rate=0.2, seed=7)
+
+        reused = RandomCrashAdversary(EagerAdversary(), rate=0.2, seed=7)
+        for _ in range(3):
+            sim_fresh = Simulation(9, {0: ping_factory}, fresh(), seed=0)
+            sim_reused = Simulation(9, {0: ping_factory}, reused, seed=0)
+            assert sim_fresh.run().crashed == sim_reused.run().crashed

@@ -75,6 +75,32 @@ class TestEveryAdversaryTerminates:
         assert result.terminated
 
 
+class TestAdversaryReuseContract:
+    """setup() must reset per-run state: a reused instance == a fresh one."""
+
+    @pytest.mark.parametrize("name", ALL_ADVERSARY_NAMES)
+    def test_second_run_matches_fresh_instance(self, name):
+        def outcome(adversary):
+            sim = Simulation(
+                6,
+                {pid: ping_factory for pid in range(4)},
+                adversary,
+                seed=3,
+            )
+            result = sim.run()
+            return (
+                sorted(result.decisions.items()),
+                result.metrics.events_executed,
+                result.metrics.messages_total,
+            )
+
+        reused = fresh_adversary(name, seed=3)
+        first = outcome(reused)
+        second = outcome(reused)
+        fresh = outcome(fresh_adversary(name, seed=3))
+        assert second == first == fresh
+
+
 class TestRandomAdversary:
     def test_bias_validation(self):
         with pytest.raises(ValueError):

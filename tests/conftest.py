@@ -29,8 +29,13 @@ ALL_ADVERSARY_NAMES = (
 
 
 def fresh_adversary(name: str, seed: int = 0):
-    """A new adversary instance (adversaries are single-use: they carry
-    per-run state such as focus order or release sets)."""
+    """A new adversary instance for one run.
+
+    Since the setup() reuse contract (see ``repro.adversary.base``),
+    instances reset their per-run state and may drive multiple runs; a
+    fresh instance per run is still the simplest way to keep tests
+    independent.
+    """
     factories = {
         "random": lambda: RandomAdversary(seed=seed),
         "eager": lambda: EagerAdversary(),

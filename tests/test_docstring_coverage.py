@@ -1,0 +1,46 @@
+"""CI wiring for the docstring coverage lint.
+
+Loads ``tools/check_docstrings.py`` (the same script developers run by
+hand) and asserts its AST walk over ``src/repro`` finds zero public
+definitions without docstrings — so coverage regressions fail the test
+suite, not just the standalone tool.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+TOOL_PATH = os.path.join(REPO_ROOT, "tools", "check_docstrings.py")
+SRC_ROOT = os.path.join(REPO_ROOT, "src", "repro")
+
+
+def _load_tool():
+    spec = importlib.util.spec_from_file_location("check_docstrings", TOOL_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_every_public_definition_has_a_docstring():
+    tool = _load_tool()
+    offenders = tool.missing_docstrings(SRC_ROOT)
+    assert not offenders, (
+        "public definitions missing docstrings "
+        f"(run `python tools/check_docstrings.py`): {offenders}"
+    )
+
+
+def test_tool_detects_missing_docstrings(tmp_path):
+    """The lint itself must flag undocumented code, not just pass."""
+    package = tmp_path / "pkg"
+    package.mkdir()
+    (package / "bare.py").write_text(
+        "def exposed():\n    return 1\n\n\ndef _private():\n    return 2\n"
+    )
+    tool = _load_tool()
+    offenders = tool.missing_docstrings(str(package))
+    assert any("bare (module)" in item for item in offenders)
+    assert any("bare.exposed" in item for item in offenders)
+    assert not any("_private" in item for item in offenders)

@@ -25,6 +25,8 @@ PUBLIC_PACKAGES = [
     "repro.memory",
     "repro.analysis",
     "repro.harness",
+    "repro.obs",
+    "repro.check",
 ]
 
 

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Docstring coverage lint for the ``repro`` package.
+
+Walks every module under ``src/repro`` with :mod:`ast` (no imports, so
+it is cheap and side-effect free) and reports each public module, class,
+function, and method that lacks a docstring.  Public means the name does
+not start with ``_``; ``__init__`` and other dunders are exempt (their
+contract is the class's), as is anything nested inside a function.
+
+Usage::
+
+    python tools/check_docstrings.py [SRC_ROOT]
+
+Exits 0 when coverage is complete, 1 with an offender listing otherwise.
+The same walk is asserted by ``tests/test_docstring_coverage.py``, which
+is how CI enforces it.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+
+#: Default package root, relative to the repository root.
+DEFAULT_ROOT = os.path.join("src", "repro")
+
+
+def iter_python_files(root: str):
+    """Yield every ``.py`` path under ``root``, sorted for stable output."""
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames.sort()
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                yield os.path.join(dirpath, filename)
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _walk_definitions(node: ast.AST, qualname: str):
+    """Yield ``(qualname, def_node)`` for public defs lexically in ``node``.
+
+    Recurses through classes but not through function bodies: helpers
+    defined inside a function are implementation detail, not API.
+    """
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if not _is_public(child.name):
+                continue
+            child_qualname = f"{qualname}.{child.name}"
+            yield child_qualname, child
+            if isinstance(child, ast.ClassDef):
+                yield from _walk_definitions(child, child_qualname)
+
+
+def missing_docstrings(root: str = DEFAULT_ROOT) -> list[str]:
+    """The qualified names under ``root`` that lack a docstring."""
+    offenders: list[str] = []
+    for path in iter_python_files(root):
+        relative = os.path.relpath(path, root)
+        module = os.path.splitext(relative)[0].replace(os.sep, ".")
+        if module.endswith("__init__"):
+            module = module[: -len(".__init__")] or "repro"
+        with open(path, "r", encoding="utf-8") as fp:
+            tree = ast.parse(fp.read(), filename=path)
+        if ast.get_docstring(tree) is None:
+            offenders.append(f"{module} (module)")
+        for qualname, node in _walk_definitions(tree, module):
+            if ast.get_docstring(node) is None:
+                kind = "class" if isinstance(node, ast.ClassDef) else "function"
+                offenders.append(f"{qualname} ({kind}, line {node.lineno})")
+    return offenders
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = sys.argv[1:] if argv is None else argv
+    root = args[0] if args else DEFAULT_ROOT
+    offenders = missing_docstrings(root)
+    if offenders:
+        print(f"{len(offenders)} public definition(s) missing docstrings:")
+        for offender in offenders:
+            print(f"  {offender}")
+        return 1
+    print(f"docstring coverage OK under {root}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
