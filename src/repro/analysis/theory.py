@@ -53,7 +53,7 @@ def hpp_high_survivors(k: int) -> float:
     k = max(k, 1)
     cutoff = 100_000
     exact_upto = min(k, cutoff)
-    total = 1.0 + sum(math.log2(l) / l for l in range(2, exact_upto + 1))
+    total = 1.0 + sum(math.log2(i) / i for i in range(2, exact_upto + 1))
     if k > cutoff:
         total += (math.log(k) ** 2 - math.log(cutoff) ** 2) / (2.0 * math.log(2))
     return total

@@ -15,11 +15,14 @@ Examples::
     python -m repro check  --protocol leader_election --budget 200 --workers 4
     python -m repro check  --protocol naive_sifter --budget 200 --out-dir artifacts/
     python -m repro check  --replay artifacts/violation-....shrunk.json
+    python -m repro net    --task elect --n 6 --seed 0
+    python -m repro net    --task elect --n 6 --drop 0.15 --delay 0.3 --chaos-seed 1
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 from typing import Sequence
 
 from .adversary import ADVERSARY_FACTORIES
@@ -113,8 +116,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=".", help="directory for baseline files (default: cwd)"
     )
     bench_p.add_argument(
-        "--compare", default=None, metavar="BENCH_JSON",
-        help="compare against a recorded baseline; exit 1 on regression/drift",
+        "--compare", default=None, metavar="BENCH_JSON_OR_DIR",
+        help=(
+            "compare against a recorded baseline (a file, or a directory "
+            "holding BENCH_<EXP>.json per experiment); exit 1 on "
+            "regression/drift"
+        ),
+    )
+    bench_p.add_argument(
+        "--tolerance", type=float, default=None, metavar="FRAC",
+        help=(
+            "relative wall-clock slowdown tolerated before a cell counts "
+            "as a regression (default 0.25; raise on noisy CI runners — "
+            "fingerprint drift is always fatal regardless)"
+        ),
     )
     bench_p.add_argument(
         "--check-serial", action="store_true",
@@ -221,6 +236,69 @@ def build_parser() -> argparse.ArgumentParser:
             "re-execute a shrunk violation artifact and verify it "
             "reproduces byte-identically (ignores exploration flags)"
         ),
+    )
+
+    net_p = sub.add_parser(
+        "net",
+        help=(
+            "run the unchanged protocol over real localhost sockets "
+            "(one OS process per node), optionally under fault injection"
+        ),
+    )
+    net_p.add_argument(
+        "--task", choices=("elect", "sift", "rename"), default="elect"
+    )
+    net_p.add_argument(
+        "--algorithm", default=None,
+        help="algorithm for the task (task default when omitted)",
+    )
+    net_p.add_argument("--n", type=int, default=6, help="node processes to spawn")
+    net_p.add_argument(
+        "--k", type=int, default=None, help="participants (default n)"
+    )
+    net_p.add_argument(
+        "--pattern",
+        choices=("first", "last", "spread", "random"),
+        default="first",
+        help="which pids participate",
+    )
+    net_p.add_argument("--seed", type=int, default=0, help="master seed")
+    net_p.add_argument(
+        "--chaos", default=None, metavar="PLAN_JSON",
+        help="fault-injection plan file (overrides --drop/--delay/--dup)",
+    )
+    net_p.add_argument(
+        "--drop", type=float, default=0.0, help="per-frame drop probability"
+    )
+    net_p.add_argument(
+        "--delay", type=float, default=0.0, help="per-frame delay probability"
+    )
+    net_p.add_argument(
+        "--dup", type=float, default=0.0, help="per-frame duplicate probability"
+    )
+    net_p.add_argument(
+        "--delay-ms", type=float, nargs=2, default=(1.0, 25.0),
+        metavar=("LO", "HI"), help="uniform delay range when a frame is delayed",
+    )
+    net_p.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="seed of the fault plan's RNG streams",
+    )
+    net_p.add_argument(
+        "--trace", default=None, metavar="OUT_JSONL",
+        help="merge all nodes' obs event streams into one JSONL trace",
+    )
+    net_p.add_argument(
+        "--timeout", type=float, default=120.0,
+        help="wall-clock budget for the whole run (seconds)",
+    )
+    net_p.add_argument(
+        "--rpc-timeout", type=float, default=0.25,
+        help="per-RPC timeout before a retry with backoff (seconds)",
+    )
+    net_p.add_argument(
+        "--no-check", dest="check", action="store_false", default=True,
+        help="skip the repro.check run-invariant evaluation",
     )
     return parser
 
@@ -359,7 +437,17 @@ def _cmd_bench(args) -> int:
             path = result.save(args.out)
             print(f"baseline:      {path}")
         if args.compare:
-            comparison = compare_results(load_result(args.compare), result)
+            baseline_path = args.compare
+            if os.path.isdir(baseline_path):
+                baseline_path = os.path.join(
+                    baseline_path, f"BENCH_{exp.upper()}.json"
+                )
+            kwargs = {}
+            if args.tolerance is not None:
+                kwargs["tolerance"] = args.tolerance
+            comparison = compare_results(
+                load_result(baseline_path), result, **kwargs
+            )
             print(comparison.describe())
             if not comparison.ok:
                 exit_code = 1
@@ -438,6 +526,63 @@ def _cmd_check(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_net(args) -> int:
+    from .net import ChaosPlan, load_plan, run_net
+    from .net.driver import NetError
+
+    try:
+        if args.chaos is not None:
+            plan = load_plan(args.chaos)
+        else:
+            plan = ChaosPlan(
+                seed=args.chaos_seed, drop=args.drop, delay=args.delay,
+                delay_ms=tuple(args.delay_ms), duplicate=args.dup,
+            )
+    except (OSError, ValueError) as error:
+        print(f"error: {error}")
+        return 2
+    try:
+        run = run_net(
+            task=args.task, algorithm=args.algorithm, n=args.n, k=args.k,
+            pattern=args.pattern, seed=args.seed, plan=plan,
+            rpc_timeout_s=args.rpc_timeout, deadline_s=args.timeout,
+            trace_path=args.trace, check=args.check,
+        )
+    except NetError as error:
+        print(f"error: {error}")
+        return 2
+
+    chaos = "clean" if not plan.active else (
+        f"drop={plan.drop} delay={plan.delay} dup={plan.duplicate} "
+        f"partitions={len(plan.partitions)} seed={plan.seed}"
+    )
+    print(f"backend:       sockets ({run.n} node processes, "
+          f"{run.k} participants)")
+    print(f"chaos:         {chaos}")
+    if run.task == "elect":
+        winner = run.winner
+        print("winner:        "
+              + (f"processor {winner}" if winner is not None else "NONE"))
+    elif run.task == "sift":
+        print(f"survivors:     {run.survivors} / {run.k}")
+    else:
+        print(f"names:         {dict(sorted(run.names.items()))}")
+    dropped = (f", {run.frames_dropped:,} dropped by chaos"
+               if plan.active else "")
+    print(f"frames:        {run.frames_sent:,} sent{dropped}")
+    print(f"wall:          {run.wall_s:.2f}s")
+    if run.trace_path:
+        print(f"trace:         {run.trace_path}")
+    if args.check:
+        if run.ok:
+            print("invariants:    all hold")
+        else:
+            for name, message in run.violations:
+                print(f"VIOLATION:     {name}: {message}")
+            return 1
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -451,6 +596,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "replay": _cmd_replay,
         "report": _cmd_report,
         "check": _cmd_check,
+        "net": _cmd_net,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,44 @@
+"""repro.net — the socket backend: real processes, real asynchrony.
+
+The simulator (:mod:`repro.sim`) realizes the paper's asynchronous
+message-passing model as a discrete-event system where the adversary *is*
+the scheduler.  This package is the second backend behind the same
+``communicate`` abstraction: the **unchanged** generator coroutines of
+:mod:`repro.core` run as separate OS processes that exchange the
+PROPAGATE / COLLECT / ACK / COLLECT_REPLY traffic of [ABND95] over
+localhost TCP sockets, so asynchrony, reordering, and delay come from a
+genuine network stack and kernel scheduler instead of a simulated one.
+
+Layers, bottom to top:
+
+* :mod:`repro.net.wire` — length-prefixed, versioned frame codec with a
+  lossless tagged encoding of every register value the protocols use;
+* :mod:`repro.net.chaos` — seeded fault-injection plans (drop, delay,
+  duplicate, partition) applied per link, per frame;
+* :mod:`repro.net.node` — one processor: an asyncio server that services
+  quorum traffic plus the client side that drives the protocol coroutine
+  through retried, timed-out RPC broadcasts;
+* :mod:`repro.net.driver` — launches ``n`` node processes, runs the
+  control plane, collects outcomes into a
+  :class:`~repro.sim.runtime.SimulationResult`, feeds them through the
+  :mod:`repro.check` run-invariants, and merges per-node
+  :mod:`repro.obs` traces.
+
+Entry point: ``python -m repro net --task elect --n 6 --seed 0``.
+"""
+
+from .chaos import ChaosPlan, Partition, load_plan
+from .driver import NetRun, run_net
+from .wire import Frame, FrameDecoder, FrameType, WireError
+
+__all__ = [
+    "ChaosPlan",
+    "Partition",
+    "load_plan",
+    "NetRun",
+    "run_net",
+    "Frame",
+    "FrameDecoder",
+    "FrameType",
+    "WireError",
+]

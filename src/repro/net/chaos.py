@@ -1,0 +1,236 @@
+"""Seeded fault-injection plans for the socket backend.
+
+The simulator gives the adversary total scheduling power; a real network
+gives whatever the kernel does.  A :class:`ChaosPlan` closes part of that
+gap by perturbing the data-plane links deterministically from a seed:
+
+* **drop** — the frame is never written (the sender's RPC times out and
+  retries with backoff, exactly as it would on a lossy network);
+* **delay** — the write is postponed by a uniform draw from
+  ``delay_ms``, reordering traffic across links;
+* **duplicate** — the frame is written twice (receivers must be
+  idempotent — register merges are, by the join-semilattice argument);
+* **partition** — every frame on the named directed links is dropped
+  until the partition heals at ``heal_ms`` (``None`` = never heals).
+
+Decisions are drawn per ``(src, dst)`` link from independent RNG streams
+(:func:`~repro.sim.rng.make_stream`), so the *plan* — which frame
+numbers on which links are dropped, delayed, or duplicated — is a pure
+function of the seed, even though wall-clock interleaving is not.
+
+Liveness: the quorum ``communicate`` primitive needs ``floor(n/2) + 1``
+reachable processors (the caller included).  A plan with ``drop < 1``
+and healing partitions always terminates (retries eventually land); a
+permanent partition that cuts the caller off from every quorum makes the
+run hang until the driver's deadline — the faithful analogue of the
+paper's crashed-majority regime.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from ..sim.rng import make_stream
+
+
+@dataclass(frozen=True, slots=True)
+class Partition:
+    """A directed link cut: frames from ``src`` pids to ``dst`` pids drop.
+
+    Cutting both directions takes two entries (or listing the pids in
+    both ``src`` and ``dst``).  ``heal_ms`` is measured from node start.
+    """
+
+    src: tuple[int, ...]
+    dst: tuple[int, ...]
+    heal_ms: float | None = None
+
+    def blocks(self, src: int, dst: int, elapsed_ms: float) -> bool:
+        """True iff this partition currently drops ``src -> dst`` frames."""
+        if self.heal_ms is not None and elapsed_ms >= self.heal_ms:
+            return False
+        return src in self.src and dst in self.dst
+
+    def to_obj(self) -> dict[str, Any]:
+        """The JSON object form used inside a plan file."""
+        return {"src": list(self.src), "dst": list(self.dst), "heal_ms": self.heal_ms}
+
+    @classmethod
+    def from_obj(cls, obj: dict[str, Any]) -> "Partition":
+        """Rebuild a partition from its :meth:`to_obj` form."""
+        return cls(
+            src=tuple(int(pid) for pid in obj["src"]),
+            dst=tuple(int(pid) for pid in obj["dst"]),
+            heal_ms=None if obj.get("heal_ms") is None else float(obj["heal_ms"]),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class FrameFate:
+    """What the plan decided for one frame on one link."""
+
+    drop: bool = False
+    delay_s: float = 0.0
+    duplicates: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True iff the frame passes through untouched."""
+        return not self.drop and self.delay_s == 0.0 and self.duplicates == 0
+
+
+#: The fate of a frame under no chaos (shared: FrameFate is frozen).
+CLEAN_FATE = FrameFate()
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosPlan:
+    """A complete, seed-deterministic fault-injection configuration."""
+
+    seed: int = 0
+    drop: float = 0.0
+    delay: float = 0.0
+    delay_ms: tuple[float, float] = (1.0, 25.0)
+    duplicate: float = 0.0
+    partitions: tuple[Partition, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "delay", "duplicate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} rate must be within [0, 1], got {rate}")
+        if self.drop >= 1.0 and self.drop != 0.0:
+            # drop == 1.0 is allowed only through a partition (which can
+            # heal); a blanket always-drop plan can never terminate.
+            raise ValueError("blanket drop rate 1.0 can never terminate; "
+                             "use a partition with heal_ms instead")
+        lo, hi = self.delay_ms
+        if lo < 0 or hi < lo:
+            raise ValueError(f"delay_ms must be 0 <= lo <= hi, got {self.delay_ms}")
+
+    @property
+    def active(self) -> bool:
+        """True iff the plan injects any fault at all."""
+        return bool(
+            self.drop or self.delay or self.duplicate or self.partitions
+        )
+
+    def link(self, src: int, dst: int) -> "LinkChaos":
+        """The per-link decision stream for frames from ``src`` to ``dst``."""
+        return LinkChaos(self, src, dst)
+
+    def to_obj(self) -> dict[str, Any]:
+        """The JSON object form of the plan."""
+        return {
+            "seed": self.seed,
+            "drop": self.drop,
+            "delay": self.delay,
+            "delay_ms": list(self.delay_ms),
+            "duplicate": self.duplicate,
+            "partitions": [partition.to_obj() for partition in self.partitions],
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON text of the plan (sorted keys)."""
+        return json.dumps(self.to_obj(), sort_keys=True, indent=2)
+
+    @classmethod
+    def from_obj(cls, obj: dict[str, Any]) -> "ChaosPlan":
+        """Rebuild a plan from its :meth:`to_obj` form."""
+        unknown = set(obj) - {
+            "seed", "drop", "delay", "delay_ms", "duplicate", "partitions"
+        }
+        if unknown:
+            raise ValueError(f"unknown chaos plan keys: {sorted(unknown)}")
+        delay_ms = obj.get("delay_ms", (1.0, 25.0))
+        return cls(
+            seed=int(obj.get("seed", 0)),
+            drop=float(obj.get("drop", 0.0)),
+            delay=float(obj.get("delay", 0.0)),
+            delay_ms=(float(delay_ms[0]), float(delay_ms[1])),
+            duplicate=float(obj.get("duplicate", 0.0)),
+            partitions=tuple(
+                Partition.from_obj(partition)
+                for partition in obj.get("partitions", ())
+            ),
+        )
+
+
+#: The no-fault plan, shared (ChaosPlan is frozen).
+CLEAN_PLAN = ChaosPlan()
+
+
+def load_plan(path: str) -> ChaosPlan:
+    """Load a chaos plan from a JSON file written by :meth:`ChaosPlan.to_json`."""
+    with open(path, "r", encoding="utf-8") as fp:
+        obj = json.load(fp)
+    if not isinstance(obj, dict):
+        raise ValueError(f"{path}: chaos plan must be a JSON object")
+    return ChaosPlan.from_obj(obj)
+
+
+class LinkChaos:
+    """The deterministic fate stream of one directed link.
+
+    Frame ``i`` on link ``src -> dst`` always gets the same fate under
+    the same plan, no matter how the surrounding run interleaves: each
+    link owns an independent RNG stream derived from the plan seed.
+    """
+
+    __slots__ = ("_plan", "src", "dst", "_rng", "frames_seen")
+
+    def __init__(self, plan: ChaosPlan, src: int, dst: int) -> None:
+        self._plan = plan
+        self.src = src
+        self.dst = dst
+        self._rng = make_stream(plan.seed, f"chaos/{src}->{dst}")
+        self.frames_seen = 0
+
+    def next_fate(self, elapsed_ms: float) -> FrameFate:
+        """Decide the fate of the link's next frame.
+
+        ``elapsed_ms`` (since node start) only gates partitions; the
+        drop/delay/duplicate draws advance regardless, keeping the
+        decision sequence aligned with the frame counter.
+        """
+        plan = self._plan
+        self.frames_seen += 1
+        if not plan.active:
+            return CLEAN_FATE
+        rng = self._rng
+        dropped = plan.drop > 0.0 and rng.random() < plan.drop
+        delay_s = 0.0
+        if plan.delay > 0.0 and rng.random() < plan.delay:
+            lo, hi = plan.delay_ms
+            delay_s = rng.uniform(lo, hi) / 1000.0
+        duplicates = 1 if plan.duplicate > 0.0 and rng.random() < plan.duplicate else 0
+        for partition in plan.partitions:
+            if partition.blocks(self.src, self.dst, elapsed_ms):
+                dropped = True
+                break
+        if not dropped and delay_s == 0.0 and duplicates == 0:
+            return CLEAN_FATE
+        return FrameFate(drop=dropped, delay_s=delay_s, duplicates=duplicates)
+
+
+def fates_for(
+    plan: ChaosPlan, src: int, dst: int, count: int, elapsed_ms: float = 0.0
+) -> list[FrameFate]:
+    """The first ``count`` fates of one link — the testable plan surface."""
+    link = plan.link(src, dst)
+    return [link.next_fate(elapsed_ms) for _ in range(count)]
+
+
+# Re-exported for plan-construction convenience in tests and tooling.
+__all__ = [
+    "ChaosPlan",
+    "Partition",
+    "FrameFate",
+    "LinkChaos",
+    "CLEAN_PLAN",
+    "CLEAN_FATE",
+    "load_plan",
+    "fates_for",
+]

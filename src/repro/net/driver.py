@@ -1,0 +1,551 @@
+"""Launch, orchestrate, and check one run over real localhost sockets.
+
+The driver is the control plane: it binds a control port, spawns ``n``
+node processes (one OS process per processor), waits for every node's
+HELLO (carrying the ephemeral data port it bound), broadcasts START with
+the full port map, collects the participants' decision RESULTs, then
+broadcasts SHUTDOWN and folds the final transport stats.
+
+The outcome is assembled into a genuine
+:class:`~repro.sim.runtime.SimulationResult` — decisions with globally
+comparable invocation/response timestamps (``CLOCK_MONOTONIC`` is
+system-wide on Linux), per-processor communicate-call and message
+counters — so the **existing** :mod:`repro.check` run-invariants
+(unique winner, linearizability, termination, valid outcomes, ...)
+evaluate a socket run exactly as they evaluate a simulated one.
+
+When tracing is enabled, every node streams its structured events
+(:mod:`repro.obs` schema plus ``net.*`` transport events) to a per-node
+JSONL file; the driver merges them into one time-sorted trace with a
+meta header describing the run and the chaos plan.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from ..core import (
+    make_get_name,
+    make_heterogeneous_poison_pill,
+    make_leader_elect,
+    make_poison_pill,
+)
+from ..core.baselines import (
+    make_linear_renaming,
+    make_naive_sifter,
+    make_tournament,
+)
+from ..core.protocol import Outcome
+from ..harness.workloads import choose_participants
+from ..obs.jsonl import obj_to_event, read_trace, write_events
+from ..sim.messages import MessageKind
+from ..sim.process import AlgorithmFactory
+from ..sim.runtime import Decision, SimulationResult
+from ..sim.trace import Metrics, Trace
+from .chaos import CLEAN_PLAN, ChaosPlan
+from .node import DRIVER_PID, NodeRuntime
+from .wire import Frame, FrameType, read_frame, write_frame
+
+#: Default wall-clock budget for a whole run, HELLO to SHUTDOWN (seconds).
+DEFAULT_DEADLINE_S = 120.0
+
+#: How long the driver waits for final stats frames after SHUTDOWN.
+FINAL_STATS_TIMEOUT_S = 5.0
+
+#: Wire frame kinds folded into the per-kind message counters.
+_KIND_BY_FRAME = {
+    FrameType.PROPAGATE: MessageKind.PROPAGATE,
+    FrameType.COLLECT: MessageKind.COLLECT,
+    FrameType.ACK: MessageKind.ACK,
+    FrameType.COLLECT_REPLY: MessageKind.COLLECT_REPLY,
+}
+
+
+class NetError(RuntimeError):
+    """A socket run failed to complete: timeout, node crash, or protocol error."""
+
+
+#: ``(task, algorithm)`` to factory constructors; algorithm ``None`` maps
+#: to the task's default, mirroring the harness runners.
+TASK_DEFAULTS = {"elect": "poison_pill", "sift": "heterogeneous", "rename": "paper"}
+
+_FACTORIES = {
+    ("elect", "poison_pill"): make_leader_elect,
+    ("elect", "poison_pill_basic"): lambda: make_leader_elect(sifter="poison_pill"),
+    ("elect", "tournament"): make_tournament,
+    ("sift", "poison_pill"): make_poison_pill,
+    ("sift", "heterogeneous"): make_heterogeneous_poison_pill,
+    ("sift", "naive"): make_naive_sifter,
+    ("rename", "paper"): make_get_name,
+    ("rename", "linear"): make_linear_renaming,
+}
+
+#: ``(task, algorithm)`` to the repro.check protocol registry name, so a
+#: net run is judged by the same invariant sets as a simulated one.
+_PROTOCOL_NAMES = {
+    ("elect", "poison_pill"): "leader_election",
+    ("elect", "poison_pill_basic"): "leader_election_basic",
+    ("elect", "tournament"): "tournament",
+    ("sift", "poison_pill"): "poison_pill",
+    ("sift", "heterogeneous"): "heterogeneous",
+    ("sift", "naive"): "naive_sifter",
+    ("rename", "paper"): "renaming",
+    ("rename", "linear"): "linear_renaming",
+}
+
+
+def resolve_factory(task: str, algorithm: str | None) -> tuple[str, AlgorithmFactory]:
+    """Resolve ``(task, algorithm)`` to a concrete coroutine factory.
+
+    Returns the normalized algorithm name plus the factory; raises
+    ``ValueError`` for unknown combinations (listing the valid ones).
+    """
+    if task not in TASK_DEFAULTS:
+        raise ValueError(f"unknown task {task!r}; expected one of {sorted(TASK_DEFAULTS)}")
+    name = algorithm or TASK_DEFAULTS[task]
+    try:
+        constructor = _FACTORIES[(task, name)]
+    except KeyError:
+        known = sorted(alg for (t, alg) in _FACTORIES if t == task)
+        raise ValueError(
+            f"unknown algorithm {name!r} for task {task!r}; expected one of {known}"
+        ) from None
+    return name, constructor()
+
+
+# ---------------------------------------------------------------------------
+# Node child process entry
+# ---------------------------------------------------------------------------
+
+
+def _node_entry(config_json: str) -> None:
+    """Entry point of one spawned node process.
+
+    Takes the whole configuration as a JSON string so the ``spawn``
+    start method has nothing to pickle beyond one flat value.
+    """
+    import asyncio
+
+    config = json.loads(config_json)
+    factory = None
+    if config["participant"]:
+        _, factory = resolve_factory(config["task"], config["algorithm"])
+    node = NodeRuntime(
+        pid=config["pid"],
+        n=config["n"],
+        seed=config["seed"],
+        driver_port=config["driver_port"],
+        factory=factory,
+        plan=ChaosPlan.from_obj(config["plan"]),
+        rpc_timeout_s=config["rpc_timeout_s"],
+        trace_path=config["trace_path"],
+    )
+    asyncio.run(node.run())
+
+
+# ---------------------------------------------------------------------------
+# The run result
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class NetRun:
+    """One completed socket-backend execution, checked and summarized.
+
+    Mirrors the harness Run objects closely enough that
+    :class:`repro.check.invariants.CheckContext` accepts it unchanged:
+    it exposes ``n``, ``k``, and ``result`` (a real
+    :class:`~repro.sim.runtime.SimulationResult`).
+    """
+
+    n: int
+    k: int
+    task: str
+    algorithm: str
+    seed: int
+    plan: ChaosPlan
+    result: SimulationResult
+    violations: list[tuple[str, str]] = field(default_factory=list)
+    node_stats: dict[int, dict[str, Any]] = field(default_factory=dict)
+    trace_path: str | None = None
+    wall_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True iff every checked run-invariant held."""
+        return not self.violations
+
+    @property
+    def winner(self) -> int | None:
+        """The elected pid (elect task), or None."""
+        winners = [
+            pid for pid, decision in self.result.decisions.items()
+            if decision.result is Outcome.WIN
+        ]
+        return winners[0] if len(winners) == 1 else None
+
+    @property
+    def survivors(self) -> int:
+        """SURVIVE count (sift task)."""
+        return sum(
+            1 for decision in self.result.decisions.values()
+            if decision.result is Outcome.SURVIVE
+        )
+
+    @property
+    def names(self) -> dict[int, Any]:
+        """Decided names (rename task)."""
+        return dict(self.result.outcomes)
+
+    @property
+    def frames_sent(self) -> int:
+        """Total data frames written across all nodes (retries included)."""
+        return sum(stats.get("frames_sent", 0) for stats in self.node_stats.values())
+
+    @property
+    def frames_dropped(self) -> int:
+        """Total frames swallowed by the chaos plan."""
+        return sum(stats.get("frames_dropped", 0) for stats in self.node_stats.values())
+
+
+# ---------------------------------------------------------------------------
+# Orchestration
+# ---------------------------------------------------------------------------
+
+
+class _ControlPlane:
+    """The driver's view of the run while it is in flight."""
+
+    def __init__(self, n: int, participants: Sequence[int]) -> None:
+        import asyncio
+
+        self.n = n
+        self.participants = frozenset(participants)
+        self.ports: dict[int, int] = {}
+        self.writers: dict[int, Any] = {}
+        self.decisions: dict[int, dict[str, Any]] = {}
+        self.finals: dict[int, dict[str, Any]] = {}
+        self.coins: dict[int, list] = {}
+        self.all_registered = asyncio.Event()
+        self.all_decided = asyncio.Event()
+        self.all_final = asyncio.Event()
+        self.failure: str | None = None
+        self.failed = asyncio.Event()
+
+    def fail(self, message: str) -> None:
+        """Record a fatal run error and wake the orchestrator."""
+        if self.failure is None:
+            self.failure = message
+        self.failed.set()
+
+    def note_decision(self, pid: int, fields: Mapping[str, Any]) -> None:
+        """Record one participant's decision RESULT."""
+        self.decisions[pid] = dict(fields)
+        if self.participants <= set(self.decisions):
+            self.all_decided.set()
+
+    def note_final(self, pid: int, fields: Mapping[str, Any]) -> None:
+        """Record one node's final transport-stats RESULT."""
+        self.finals[pid] = dict(fields)
+        if len(self.finals) == self.n:
+            self.all_final.set()
+
+
+async def _orchestrate(
+    n: int,
+    participants: Sequence[int],
+    seed: int,
+    task: str,
+    algorithm: str,
+    plan: ChaosPlan,
+    rpc_timeout_s: float,
+    deadline_s: float,
+    trace_paths: Mapping[int, str] | None,
+) -> _ControlPlane:
+    """The driver's async body: serve the control plane, spawn, collect."""
+    import asyncio
+
+    plane = _ControlPlane(n, participants)
+
+    async def handle_node(reader, writer) -> None:
+        pid = None
+        try:
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    return
+                if frame.ftype == FrameType.HELLO:
+                    pid = frame.sender
+                    plane.ports[pid] = frame.fields["port"]
+                    plane.writers[pid] = writer
+                    if len(plane.ports) == n:
+                        plane.all_registered.set()
+                elif frame.ftype == FrameType.RESULT:
+                    if frame.fields.get("kind") == "decision":
+                        plane.note_decision(frame.sender, frame.fields)
+                    else:
+                        plane.note_final(frame.sender, frame.fields)
+                elif frame.ftype == FrameType.ERROR:
+                    plane.fail(
+                        f"node {frame.sender} failed: {frame.fields.get('message')}"
+                    )
+        except Exception as error:  # connection loss mid-run is fatal
+            if not plane.all_final.is_set():
+                plane.fail(f"control connection to node {pid} broke: {error!r}")
+
+    server = await asyncio.start_server(handle_node, "127.0.0.1", 0)
+    driver_port = server.sockets[0].getsockname()[1]
+
+    context = multiprocessing.get_context("spawn")
+    children = []
+    participant_set = set(participants)
+    for pid in range(n):
+        config = {
+            "pid": pid,
+            "n": n,
+            "seed": seed,
+            "driver_port": driver_port,
+            "task": task,
+            "algorithm": algorithm,
+            "participant": pid in participant_set,
+            "plan": plan.to_obj(),
+            "rpc_timeout_s": rpc_timeout_s,
+            "trace_path": trace_paths.get(pid) if trace_paths else None,
+        }
+        child = context.Process(
+            target=_node_entry, args=(json.dumps(config),), name=f"repro-net-{pid}"
+        )
+        child.start()
+        children.append(child)
+
+    async def monitor_children() -> None:
+        while True:
+            for child in children:
+                if child.exitcode not in (None, 0):
+                    plane.fail(
+                        f"node process {child.name} exited with {child.exitcode}"
+                    )
+                    return
+            await asyncio.sleep(0.2)
+
+    monitor = asyncio.create_task(monitor_children())
+
+    async def await_or_fail(event: asyncio.Event, what: str, timeout: float) -> None:
+        waiter = asyncio.create_task(event.wait())
+        failer = asyncio.create_task(plane.failed.wait())
+        done, pending = await asyncio.wait(
+            (waiter, failer), timeout=timeout, return_when=asyncio.FIRST_COMPLETED
+        )
+        for pending_task in pending:
+            pending_task.cancel()
+        if failer in done:
+            raise NetError(plane.failure or "run failed")
+        if waiter not in done:
+            raise NetError(f"timed out after {timeout:.0f}s waiting for {what}")
+
+    try:
+        await await_or_fail(plane.all_registered, "node registration", deadline_s)
+        start_fields = {
+            "ports": dict(plane.ports),
+            "participants": sorted(participant_set),
+            "rpc_timeout_s": rpc_timeout_s,
+        }
+        for writer in plane.writers.values():
+            await write_frame(writer, Frame(FrameType.START, DRIVER_PID, start_fields))
+        await await_or_fail(plane.all_decided, "participant decisions", deadline_s)
+        for writer in plane.writers.values():
+            await write_frame(writer, Frame(FrameType.SHUTDOWN, DRIVER_PID, {}))
+        try:
+            await await_or_fail(
+                plane.all_final, "final stats", FINAL_STATS_TIMEOUT_S
+            )
+        except NetError:
+            if plane.failure is not None:
+                raise
+            # Missing final stats degrade the counters, not the run.
+    finally:
+        monitor.cancel()
+        server.close()
+        await server.wait_closed()
+        deadline = time.monotonic() + 5.0
+        for child in children:
+            child.join(timeout=max(0.0, deadline - time.monotonic()))
+        for child in children:
+            if child.is_alive():
+                child.terminate()
+                child.join(timeout=2.0)
+    return plane
+
+
+# ---------------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------------
+
+
+def run_net(
+    task: str = "elect",
+    algorithm: str | None = None,
+    n: int = 6,
+    k: int | None = None,
+    pattern: str = "first",
+    seed: int = 0,
+    plan: ChaosPlan | None = None,
+    rpc_timeout_s: float = 0.25,
+    deadline_s: float = DEFAULT_DEADLINE_S,
+    trace_path: str | None = None,
+    check: bool = True,
+) -> NetRun:
+    """Run one task over localhost sockets and check its invariants.
+
+    The unchanged protocol coroutine runs in ``n`` spawned OS processes;
+    ``plan`` injects seeded faults (default: clean network).  With
+    ``trace_path`` set, per-node obs streams are merged into one
+    time-sorted JSONL trace at that path.  ``check`` evaluates the
+    :mod:`repro.check` run-invariants registered for the protocol; the
+    violations land in :attr:`NetRun.violations` (never raised, so
+    callers can inspect the failing run).
+    """
+    import asyncio
+
+    algorithm, _ = resolve_factory(task, algorithm)
+    participants = choose_participants(n, k, pattern, seed)
+    plan = plan if plan is not None else CLEAN_PLAN
+
+    trace_paths: dict[int, str] | None = None
+    trace_dir = None
+    if trace_path is not None:
+        trace_dir = tempfile.TemporaryDirectory(prefix="repro-net-")
+        trace_paths = {
+            pid: os.path.join(trace_dir.name, f"node-{pid}.jsonl")
+            for pid in range(n)
+        }
+
+    wall_start = time.perf_counter()
+    try:
+        plane = asyncio.run(_orchestrate(
+            n, participants, seed, task, algorithm, plan,
+            rpc_timeout_s, deadline_s, trace_paths,
+        ))
+    except NetError:
+        if trace_dir is not None:
+            trace_dir.cleanup()
+        raise
+    wall_s = time.perf_counter() - wall_start
+
+    result = _assemble_result(n, plane)
+    events = None
+    if trace_paths is not None:
+        events = _merge_traces(
+            trace_path, trace_paths, task=task, algorithm=algorithm, n=n,
+            k=len(participants), seed=seed, pattern=pattern, plan=plan,
+        )
+        trace_dir.cleanup()
+
+    run = NetRun(
+        n=n,
+        k=len(participants),
+        task=task,
+        algorithm=algorithm,
+        seed=seed,
+        plan=plan,
+        result=result,
+        node_stats={pid: dict(fields) for pid, fields in plane.finals.items()},
+        trace_path=trace_path,
+        wall_s=wall_s,
+    )
+    if check:
+        run.violations = check_net_run(run, events)
+    return run
+
+
+def _assemble_result(n: int, plane: _ControlPlane) -> SimulationResult:
+    """Fold the control-plane reports into a ``SimulationResult``.
+
+    Timestamps are rebased to the earliest invocation so decision times
+    are small, zero-anchored integers; ``CLOCK_MONOTONIC`` is the same
+    clock in every process, so the rebased intervals remain a faithful
+    real-time order for the linearizability invariant.
+    """
+    metrics = Metrics(n)
+    decisions: dict[int, Decision] = {}
+    start_times: dict[int, int] = {}
+    t0 = min(
+        (fields["start_ns"] for fields in plane.decisions.values()), default=0
+    )
+    for pid, fields in sorted(plane.decisions.items()):
+        start = fields["start_ns"] - t0
+        decide = fields["decide_ns"] - t0
+        decisions[pid] = Decision(
+            pid=pid, result=fields["outcome"], start_time=start, decide_time=decide
+        )
+        start_times[pid] = start
+        metrics.comm_calls_by[pid] = fields.get("comm_calls", 0)
+    for pid, fields in plane.finals.items():
+        sent = fields.get("frames_sent", 0)
+        metrics.messages_sent_by[pid] = sent
+        metrics.messages_total += sent
+        metrics.deliveries += fields.get("frames_received", 0)
+        for kind_name, count in fields.get("frames_by_kind", {}).items():
+            kind = _KIND_BY_FRAME.get(kind_name)
+            if kind is not None:
+                metrics.messages_by_kind[kind] += count
+    undecided = plane.participants - set(decisions)
+    return SimulationResult(
+        n=n,
+        decisions=decisions,
+        metrics=metrics,
+        trace=Trace(),
+        undecided=frozenset(undecided),
+        crashed=frozenset(),
+        start_times=start_times,
+    )
+
+
+def _merge_traces(
+    out_path: str,
+    trace_paths: Mapping[int, str],
+    **meta: Any,
+) -> list:
+    """Merge per-node JSONL streams into one time-sorted trace file.
+
+    Returns the merged event list so invariant checks can reuse it
+    without re-reading the file.
+    """
+    from ..obs.events import json_safe
+
+    events = []
+    for pid, path in sorted(trace_paths.items()):
+        if not os.path.exists(path):
+            continue
+        _, objects = read_trace(path)
+        events.extend(obj_to_event(obj) for obj in objects)
+    events.sort(key=lambda event: (event.time, event.pid))
+    plan = meta.pop("plan")
+    header = {
+        "backend": "net",
+        "format": 1,
+        **{key: json_safe(value) for key, value in meta.items()},
+        "chaos": plan.to_obj(),
+        "nodes": len(trace_paths),
+    }
+    write_events(out_path, events, meta=header)
+    return events
+
+
+def check_net_run(run: NetRun, events=None) -> list[tuple[str, str]]:
+    """Evaluate the protocol's run-invariants against a socket run.
+
+    Uses the same invariant registry as ``repro check``; ensemble
+    invariants (statistical, many-run) are skipped by construction.
+    """
+    from ..check.invariants import PROTOCOLS, evaluate_run, invariants_for
+
+    spec = PROTOCOLS[_PROTOCOL_NAMES[(run.task, run.algorithm)]]
+    invariants = invariants_for(spec.task)
+    return evaluate_run(spec, run, events, invariants)

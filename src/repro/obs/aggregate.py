@@ -20,7 +20,7 @@ event list would not.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable, Mapping
 
 from .events import Event, EventType, json_safe

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core import Outcome
 from repro.core.doorway import doorway
 from repro.core.preround import preround

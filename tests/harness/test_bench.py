@@ -10,7 +10,6 @@ import pytest
 from repro.harness.bench import (
     BENCH_FORMAT_VERSION,
     EXPERIMENTS,
-    BenchResult,
     compare_results,
     load_result,
     run_experiment,

@@ -1,0 +1,1 @@
+"""Tests for the socket backend: wire codec, chaos plans, and the driver."""

@@ -1,0 +1,185 @@
+"""Driver integration tests: real processes, real sockets, checked runs.
+
+Each test here spawns actual OS processes exchanging frames over
+localhost TCP, so the suite keeps ``n`` small and the run count low —
+the goal is one genuine end-to-end exercise per behavior (clean, chaos,
+every task, tracing), with the cheap logic (factory resolution, result
+assembly) covered by unit tests below them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check.invariants import PENDING_TIME
+from repro.core.protocol import Outcome
+from repro.net.chaos import ChaosPlan, Partition
+from repro.net.driver import (
+    NetError,
+    NetRun,
+    _assemble_result,
+    check_net_run,
+    resolve_factory,
+    run_net,
+)
+from repro.obs.jsonl import read_trace
+
+
+class TestResolveFactory:
+    def test_task_defaults(self):
+        assert resolve_factory("elect", None)[0] == "poison_pill"
+        assert resolve_factory("sift", None)[0] == "heterogeneous"
+        assert resolve_factory("rename", None)[0] == "paper"
+
+    def test_unknown_task(self):
+        with pytest.raises(ValueError, match="unknown task"):
+            resolve_factory("gossip", None)
+
+    def test_unknown_algorithm_lists_valid_ones(self):
+        with pytest.raises(ValueError, match="tournament"):
+            resolve_factory("elect", "bully")
+
+    def test_factories_build_generators(self):
+        for task, algorithm in (
+            ("elect", "tournament"),
+            ("sift", "poison_pill"),
+            ("rename", "linear"),
+        ):
+            _, factory = resolve_factory(task, algorithm)
+            assert callable(factory)
+
+
+class TestElectOverSockets:
+    def test_clean_run_elects_unique_winner(self):
+        run = run_net(task="elect", n=4, seed=0)
+        assert run.ok, run.violations
+        winners = [
+            pid for pid, decision in run.result.decisions.items()
+            if decision.result is Outcome.WIN
+        ]
+        assert len(winners) == 1
+        assert run.winner == winners[0]
+        assert len(run.result.decisions) == 4
+        assert not run.result.undecided
+        assert run.frames_sent > 0
+
+    def test_chaotic_run_still_elects(self):
+        plan = ChaosPlan(seed=1, drop=0.15, delay=0.4, duplicate=0.1)
+        run = run_net(task="elect", n=4, seed=0, plan=plan)
+        assert run.ok, run.violations
+        assert run.winner is not None
+        assert run.frames_dropped > 0
+
+    def test_decision_times_are_linearizable_inputs(self):
+        """Rebased times: zero-anchored, start < decide, below PENDING."""
+        run = run_net(task="elect", n=4, seed=2)
+        starts = [d.start_time for d in run.result.decisions.values()]
+        assert min(starts) == 0
+        for decision in run.result.decisions.values():
+            assert 0 <= decision.start_time < decision.decide_time < PENDING_TIME
+
+
+class TestOtherTasksOverSockets:
+    def test_sift(self):
+        run = run_net(task="sift", n=4, seed=3)
+        assert run.ok, run.violations
+        assert 1 <= run.survivors <= 4
+
+    def test_rename(self):
+        run = run_net(task="rename", n=4, seed=1)
+        assert run.ok, run.violations
+        names = run.names
+        assert len(names) == 4
+        assert len(set(names.values())) == 4  # strong renaming: unique
+
+
+class TestChaosAtTheTransport:
+    def test_healing_partition_delays_but_does_not_kill(self):
+        plan = ChaosPlan(
+            partitions=(Partition(src=(0,), dst=(1, 2, 3), heal_ms=300.0),)
+        )
+        run = run_net(task="elect", n=4, seed=0, plan=plan)
+        assert run.ok, run.violations
+        assert run.winner is not None
+
+    def test_unreachable_quorum_times_out(self):
+        """Cutting every link starves all quorums: the driver deadline fires."""
+        everyone = (0, 1, 2)
+        plan = ChaosPlan(partitions=(Partition(src=everyone, dst=everyone),))
+        with pytest.raises(NetError, match="timed out"):
+            run_net(task="elect", n=3, seed=0, plan=plan, deadline_s=4.0)
+
+
+class TestTracing:
+    def test_merged_trace_is_time_sorted_and_complete(self, tmp_path):
+        out = tmp_path / "net.jsonl"
+        run = run_net(task="elect", n=4, seed=0, trace_path=str(out))
+        assert run.ok, run.violations
+        meta, objects = read_trace(str(out))
+        assert meta["backend"] == "net"
+        assert meta["chaos"]["drop"] == 0.0
+        assert meta["n"] == 4
+        times = [obj["t"] for obj in objects]
+        assert times == sorted(times)
+        etypes = {obj["e"] for obj in objects}
+        assert "proc.start" in etypes
+        assert "proc.decide" in etypes
+        assert "comm.call" in etypes
+        assert "msg.send" in etypes
+        assert {obj["p"] for obj in objects} == {0, 1, 2, 3}
+
+    def test_chaos_events_recorded(self, tmp_path):
+        out = tmp_path / "net.jsonl"
+        plan = ChaosPlan(seed=5, drop=0.3)
+        run = run_net(task="elect", n=4, seed=0, plan=plan, trace_path=str(out))
+        assert run.ok, run.violations
+        _, objects = read_trace(str(out))
+        assert any(obj["e"] == "net.drop" for obj in objects)
+
+
+class TestResultAssembly:
+    """Unit tests against a hand-built control plane — no sockets."""
+
+    class _Plane:
+        def __init__(self):
+            self.participants = frozenset({0, 1})
+            self.decisions = {
+                0: {"outcome": Outcome.WIN, "start_ns": 1000, "decide_ns": 5000,
+                    "comm_calls": 7},
+                1: {"outcome": Outcome.LOSE, "start_ns": 1200, "decide_ns": 4000,
+                    "comm_calls": 6},
+            }
+            self.finals = {
+                0: {"frames_sent": 10, "frames_received": 9,
+                    "frames_by_kind": {"propagate": 4, "ack": 6}},
+                1: {"frames_sent": 8, "frames_received": 11,
+                    "frames_by_kind": {"collect": 3, "collect_reply": 5}},
+            }
+
+    def test_times_rebased_and_metrics_folded(self):
+        result = _assemble_result(2, self._Plane())
+        assert result.decisions[0].start_time == 0
+        assert result.decisions[0].decide_time == 4000
+        assert result.decisions[1].start_time == 200
+        assert result.metrics.comm_calls_by[0] == 7
+        assert result.metrics.messages_total == 18
+        assert result.metrics.deliveries == 20
+        assert not result.undecided
+
+    def test_missing_decision_becomes_undecided(self):
+        plane = self._Plane()
+        del plane.decisions[1]
+        result = _assemble_result(2, plane)
+        assert result.undecided == frozenset({1})
+
+    def test_check_net_run_flags_two_winners(self):
+        plane = self._Plane()
+        plane.decisions[1]["outcome"] = Outcome.WIN
+        result = _assemble_result(2, plane)
+        run = NetRun(
+            n=2, k=2, task="elect", algorithm="poison_pill", seed=0,
+            plan=ChaosPlan(), result=result,
+        )
+        violations = check_net_run(run)
+        assert any(name == "unique_winner" for name, _ in violations)
+        assert run.winner is None  # two winners -> no unique winner

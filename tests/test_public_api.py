@@ -27,6 +27,7 @@ PUBLIC_PACKAGES = [
     "repro.harness",
     "repro.obs",
     "repro.check",
+    "repro.net",
 ]
 
 
