@@ -46,6 +46,15 @@ class Adversary(abc.ABC):
     #: Short machine-readable identifier used in benchmark tables.
     name: str = "adversary"
 
+    #: Whether this adversary reads the pool's per-endpoint index API
+    #: (``sent_by``/``addressed_to``/``involving``).  Declaring ``False``
+    #: lets the simulation build its :class:`~repro.sim.messages.InFlightPool`
+    #: with ``indexed=False``, dropping two dict insertions per send and
+    #: two deletions per delivery — a large fraction of per-message cost
+    #: at scale.  Calling the index API anyway then raises
+    #: ``RuntimeError``; when in doubt, leave the default ``True``.
+    uses_endpoint_indexes: bool = True
+
     def setup(self, sim: "Simulation") -> None:
         """Hook called once per run, before the first action is requested.
 

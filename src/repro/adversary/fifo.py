@@ -27,6 +27,7 @@ class EagerAdversary(Adversary):
     """Deliver newest-first, then step lowest pid.  Deterministic, fast."""
 
     name = "eager"
+    uses_endpoint_indexes = False  # scans .messages / any_message() only
 
     def choose(self, sim: "Simulation") -> Action | None:
         """Deliver newest-first via the deterministic fallback."""
@@ -37,6 +38,7 @@ class RoundRobinAdversary(Adversary):
     """Step processors in a rotating pid order; drain messages in between."""
 
     name = "round_robin"
+    uses_endpoint_indexes = False  # scans .messages / any_message() only
 
     def __init__(self) -> None:
         self._next_pid = 0

@@ -28,6 +28,7 @@ class ObliviousAdversary(Adversary):
     """State-blind randomized scheduler (the paper's weak adversary)."""
 
     name = "oblivious"
+    uses_endpoint_indexes = False  # scans .messages / any_message() only
 
     def __init__(self, seed: int = 0, deliver_bias: float = 0.75) -> None:
         self._seed = seed

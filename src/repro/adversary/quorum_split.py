@@ -26,6 +26,7 @@ class QuorumSplitAdversary(Adversary):
     """Prefer same-half deliveries to keep the two halves' views disjoint."""
 
     name = "quorum_split"
+    uses_endpoint_indexes = False  # scans .messages / any_message() only
 
     def __init__(self, first_half: Iterable[int] | None = None) -> None:
         self._half_arg: frozenset[int] | None = (

@@ -28,6 +28,7 @@ class RandomAdversary(Adversary):
     """
 
     name = "random"
+    uses_endpoint_indexes = False  # scans .messages / any_message() only
 
     def __init__(self, seed: int = 0, deliver_bias: float = 0.75) -> None:
         if not 0.0 < deliver_bias < 1.0:

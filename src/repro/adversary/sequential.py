@@ -28,6 +28,7 @@ class SequentialAdversary(Adversary):
     """Run participants one at a time, in ``order`` (default: pid order)."""
 
     name = "sequential"
+    uses_endpoint_indexes = False  # scans .messages / any_message() only
 
     def __init__(self, order: Sequence[int] | None = None) -> None:
         self._order_arg = list(order) if order is not None else None

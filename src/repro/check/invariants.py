@@ -41,8 +41,9 @@ from ..analysis.linearizability import (
     RegisterOp,
     check_register_linearizable,
 )
-from ..core.protocol import Outcome
+from ..core.protocol import HetStatus, Outcome
 from ..obs.events import Event, EventType
+from ..sim import pidset
 from ..sim.runtime import SimulationResult
 
 #: Response time assigned to operations that never responded (crashed or
@@ -436,6 +437,48 @@ def _check_no_false_death(ctx: CheckContext) -> str | None:
     return None
 
 
+def _check_learned_closure(ctx: CheckContext) -> str | None:
+    """Claim 3.3 bookkeeping: each announced ``L`` set contains its
+    announcer and the announcer's own observed list.
+
+    Both sets travel as :mod:`repro.sim.pidset` bitmask ints, so
+    membership and containment are single bit-ops.  Skipped (returns
+    ``None``) when the event stream was not captured or the sifter is
+    not the heterogeneous variant (no ``*.learned`` puts).
+    """
+    if ctx.events is None:
+        return None
+    learned_by: dict[int, int] = {}
+    own_members: dict[int, int] = {}
+    for event in ctx.events:
+        if event.etype != EventType.REG_PUT:
+            continue
+        var = str(event.fields.get("var", ""))
+        value = event.fields.get("value")
+        if var.endswith(".learned") and isinstance(value, int):
+            learned_by[event.pid] = value
+        elif (
+            var.endswith(".Status")
+            and isinstance(value, HetStatus)
+            and event.fields.get("key") == event.pid
+        ):
+            own_members[event.pid] = value.members
+    if not learned_by:
+        return None
+    for pid, learned in sorted(learned_by.items()):
+        if not pidset.contains(learned, pid):
+            return f"p{pid} announced an L set that omits itself"
+        members = own_members.get(pid, pidset.EMPTY)
+        if not pidset.is_subset(members, learned):
+            missing = pidset.to_frozenset(members & ~learned)
+            return (
+                f"p{pid}'s L set omits {sorted(missing)} from its own "
+                f"observed list — the closure bookkeeping of Figure 2 "
+                f"lines 26-27 was violated"
+            )
+    return None
+
+
 def _check_names_unique(ctx: CheckContext) -> str | None:
     names: dict[Any, list[int]] = {}
     for pid, decision in ctx.result.decisions.items():
@@ -581,6 +624,14 @@ INVARIANTS: dict[str, Invariant] = {
             "A participant that flipped high priority never dies, and a "
             "sole participant always survives.",
             check=_check_no_false_death,
+        ),
+        Invariant(
+            "learned_closure", "Claim 3.3 (closure bookkeeping)",
+            "run", ("sift",),
+            "Every announced L set (a pidset bitmask) contains its "
+            "announcer and the announcer's own observed list; skipped "
+            "for non-heterogeneous sifters and uncaptured event streams.",
+            check=_check_learned_closure,
         ),
         Invariant(
             "sifting_effective", "Claim 3.2 / Lemmas 3.6-3.7",

@@ -27,6 +27,7 @@ from __future__ import annotations
 import math
 from typing import Iterator
 
+from ..sim import pidset
 from ..sim.communicate import Collect, Propagate, Request
 from ..sim.process import AlgorithmFactory, ProcessAPI
 from .protocol import HetStatus, Outcome, PillState, status_var
@@ -39,6 +40,32 @@ def heterogeneous_bias(observed: int) -> float:
     return min(1.0, math.log2(observed) / observed)
 
 
+def heterogeneous_death_verdict(
+    views: "list[dict[int, HetStatus]]",
+    use_lists: bool = True,
+) -> tuple[int, Outcome]:
+    """The death rule of Figure 2, lines 26-29, as a pure function.
+
+    Returns ``(learned, outcome)`` where ``learned`` is the closed union
+    ``L`` as a :mod:`repro.sim.pidset` bitmask.  A single pass over the
+    views accumulates both ``L`` and the pidset of processors ever seen
+    low-priority; the verdict is then one bit-op (``learned & ~low_seen``
+    non-empty ⟺ some learned pid was never seen LOW ⟺ DIE), replacing
+    the O(|learned| x |views|) per-pid rescan.
+    """
+    learned = pidset.EMPTY
+    low_seen = pidset.EMPTY
+    for view in views:                                          # lines 26-27
+        for j, status in view.items():
+            learned |= 1 << j
+            if use_lists:
+                learned |= status.members
+            if status.state is PillState.LOW:
+                low_seen |= 1 << j
+    outcome = Outcome.DIE if learned & ~low_seen else Outcome.SURVIVE
+    return learned, outcome
+
+
 def heterogeneous_poison_pill(
     api: ProcessAPI,
     namespace: str = "hpp",
@@ -48,11 +75,13 @@ def heterogeneous_poison_pill(
     var = status_var(namespace)
     me = api.pid
     api.annotate("phase.enter", ns=namespace, kind="hpp")
-    api.put(var, me, HetStatus(PillState.COMMIT, frozenset()))  # line 14
+    api.put(var, me, HetStatus(PillState.COMMIT, pidset.EMPTY))  # line 14
     yield Propagate(var, (me,))                                 # line 15
     views = yield Collect(var)                                  # line 16
-    observed = frozenset(j for view in views for j in view)     # line 17
-    probability = heterogeneous_bias(len(observed))             # lines 18-19
+    observed = pidset.from_iterable(                            # line 17
+        j for view in views for j in view
+    )
+    probability = heterogeneous_bias(pidset.popcount(observed))  # lines 18-19
     coin = api.flip(probability, label=f"{namespace}.coin")     # line 20
     state = PillState.LOW if coin == 0 else PillState.HIGH
     api.put(var, me, HetStatus(state, observed))                # lines 21-22
@@ -60,28 +89,17 @@ def heterogeneous_poison_pill(
     views = yield Collect(var)                                  # line 24
     outcome = Outcome.SURVIVE                                   # line 30
     if state is PillState.LOW:                                  # line 25
-        learned: set[int] = set()
-        if use_lists:
-            for view in views:                                  # line 26
-                for status in view.values():
-                    learned.update(status.members)
-        learned.update(j for view in views for j in view)       # line 27
+        learned, outcome = heterogeneous_death_verdict(views, use_lists)
         # Local-only observability hook (never propagated): the L set this
         # processor computed, used by tests asserting Claim 3.3's closure.
-        api.put(f"{namespace}.learned", me, frozenset(learned))
-        for j in learned:                                       # line 28
-            if not any(
-                j in view and view[j].state is PillState.LOW for view in views
-            ):
-                outcome = Outcome.DIE                           # line 29
-                break
+        api.put(f"{namespace}.learned", me, learned)
     api.annotate(
         "phase.exit",
         ns=namespace,
         kind="hpp",
         outcome=outcome.value,
         coin=coin,
-        observed=len(observed),
+        observed=pidset.popcount(observed),
     )
     return outcome
 

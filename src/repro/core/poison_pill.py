@@ -24,6 +24,7 @@ from __future__ import annotations
 import math
 from typing import Iterator
 
+from ..sim import pidset
 from ..sim.communicate import Collect, Propagate, Request
 from ..sim.process import AlgorithmFactory, ProcessAPI
 from .protocol import Outcome, PillState, status_var
@@ -32,6 +33,25 @@ from .protocol import Outcome, PillState, status_var
 def default_bias(n: int) -> float:
     """The paper's coin bias: heads (high priority) with prob ``1/sqrt(n)``."""
     return 1.0 / math.sqrt(n) if n > 1 else 1.0
+
+
+def poison_pill_death_verdict(views: "list[dict[int, PillState]]") -> Outcome:
+    """The death rule of Figure 1, lines 9-11, as a pure function.
+
+    Die iff some processor was seen committed or high-priority in a view
+    and low-priority in none.  One pass accumulates both pidsets; the
+    verdict is a single bit-op, replacing the
+    O(|participants| x |views|) any-scans.
+    """
+    strong_seen = pidset.EMPTY
+    low_seen = pidset.EMPTY
+    for view in views:
+        for j, state_j in view.items():
+            if state_j is PillState.LOW:
+                low_seen |= 1 << j
+            else:  # COMMIT or HIGH
+                strong_seen |= 1 << j
+    return Outcome.DIE if strong_seen & ~low_seen else Outcome.SURVIVE
 
 
 def poison_pill(
@@ -57,15 +77,7 @@ def poison_pill(
     views = yield Collect(var)                              # line 8
     outcome = Outcome.SURVIVE                               # line 12
     if api.get(var, me) is PillState.LOW:                   # line 9
-        participants = {j for view in views for j in view}
-        for j in participants:                              # line 10
-            seen_strong = any(
-                view.get(j) in (PillState.COMMIT, PillState.HIGH) for view in views
-            )
-            seen_low = any(view.get(j) is PillState.LOW for view in views)
-            if seen_strong and not seen_low:
-                outcome = Outcome.DIE                       # line 11
-                break
+        outcome = poison_pill_death_verdict(views)          # lines 10-11
     api.annotate(
         "phase.exit", ns=namespace, kind="pp", outcome=outcome.value, coin=coin
     )

@@ -42,10 +42,14 @@ class HetStatus(NamedTuple):
     non-bottom status this processor observed right after committing.  It
     rides along with every subsequent priority announcement so that
     observers can compute the closed union ``L`` (Claim 3.3).
+
+    The list is encoded as a :mod:`repro.sim.pidset` bitmask int (bit
+    ``i`` set ⟺ pid ``i`` observed), so the death rule's unions are
+    single ``|`` ops instead of per-element frozenset churn.
     """
 
     state: PillState
-    members: frozenset[int]
+    members: int
 
 
 def status_var(namespace: str) -> str:

@@ -33,6 +33,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
+from ..sim.trace import Metrics
 from .runners import run_leader_election, run_sifting_phase
 from .sweep import merged_metrics, repeat
 
@@ -66,6 +67,43 @@ def _sift_survivors_runner(n: int, seed: int):
                              adversary="sequential", seed=seed)
 
 
+@dataclass(slots=True)
+class _MergedResult:
+    """Adapter so a run *pair* exposes the ``.result.metrics`` shape."""
+
+    metrics: Metrics
+
+
+@dataclass(slots=True)
+class LargeNSiftPair:
+    """One E4 repetition: the same (n, seed) cell under both adversaries.
+
+    The large-n experiment measures the simulator, not one scheduler, so
+    each repetition runs the sequential attack *and* the oblivious
+    scheduler back to back; counters are folded for the cell totals while
+    the fingerprint keeps the two runs' digests separate (a behaviour
+    change in either one must drift the cell).
+    """
+
+    sequential: Any
+    oblivious: Any
+
+    @property
+    def result(self) -> _MergedResult:
+        """Both runs' counters folded, shaped like a single Run's result."""
+        metrics = merged_metrics((self.sequential, self.oblivious))
+        assert metrics is not None
+        return _MergedResult(metrics)
+
+
+def _sift_large_n_runner(n: int, seed: int) -> LargeNSiftPair:
+    common = dict(n=n, k=16, kind="heterogeneous", seed=seed)
+    return LargeNSiftPair(
+        sequential=run_sifting_phase(adversary="sequential", **common),
+        oblivious=run_sifting_phase(adversary="oblivious", **common),
+    )
+
+
 def _elect_fingerprint(run) -> list:
     return [run.winner, run.rounds, run.max_comm_calls, run.messages_total]
 
@@ -73,6 +111,10 @@ def _elect_fingerprint(run) -> list:
 def _sift_fingerprint(run) -> list:
     return [run.survivors, run.result.metrics.messages_total,
             run.result.metrics.max_comm_calls]
+
+
+def _sift_pair_fingerprint(pair: LargeNSiftPair) -> list:
+    return [_sift_fingerprint(pair.sequential), _sift_fingerprint(pair.oblivious)]
 
 
 @dataclass(frozen=True, slots=True)
@@ -124,6 +166,15 @@ EXPERIMENTS: dict[str, BenchExperiment] = {
             seed_base=30,
             runner=_sift_survivors_runner,
             fingerprint=_sift_fingerprint,
+        ),
+        BenchExperiment(
+            name="e4",
+            title="large-n sifting (sequential + oblivious, k=16)",
+            values=(256, 1024, 4096),
+            values_full=(256, 1024, 4096, 8192),
+            seed_base=40,
+            runner=_sift_large_n_runner,
+            fingerprint=_sift_pair_fingerprint,
         ),
     )
 }

@@ -63,6 +63,7 @@ def _build_simulation(
     max_events: int | None,
     sink=None,
     profiler=None,
+    delta_propagation: bool = True,
 ) -> Simulation:
     scheduler = make_adversary(adversary, seed)
     if crash_schedule:
@@ -76,6 +77,7 @@ def _build_simulation(
         max_events=max_events,
         sink=sink,
         profiler=profiler,
+        delta_propagation=delta_propagation,
     )
 
 
@@ -136,13 +138,16 @@ def run_leader_election(
     check: bool = True,
     sink=None,
     profiler=None,
+    delta_propagation: bool = True,
 ) -> LeaderElectionRun:
     """Run one leader election to completion and check it.
 
     ``algorithm`` selects the paper's PoisonPill-based algorithm or the
     [AGTV92] tournament baseline.  ``sink`` receives the structured event
     stream (:mod:`repro.obs`) and ``profiler`` accumulates wall-clock
-    spans; both default to off.
+    spans; both default to off.  ``delta_propagation=False`` forces full
+    PROPAGATE payloads — semantically identical, used by the equivalence
+    regression tests.
     """
     if algorithm == "poison_pill":
         factory = make_leader_elect()
@@ -159,7 +164,7 @@ def run_leader_election(
     participants = choose_participants(n, k, pattern, seed)
     sim = _build_simulation(
         n, factory, participants, adversary, seed, crash_schedule,
-        record_events, max_events, sink, profiler,
+        record_events, max_events, sink, profiler, delta_propagation,
     )
     result = sim.run(require_termination=check and not crash_schedule)
     report = check_leader_election(result) if check else LeaderElectionReport(
@@ -211,6 +216,7 @@ def run_sifting_phase(
     record_events: bool = False,
     sink=None,
     profiler=None,
+    delta_propagation: bool = True,
 ) -> SiftingRun:
     """Run one sifting phase (PoisonPill / heterogeneous / naive)."""
     if kind == "poison_pill":
@@ -224,7 +230,7 @@ def run_sifting_phase(
     participants = choose_participants(n, k, pattern, seed)
     sim = _build_simulation(
         n, factory, participants, adversary, seed, None, record_events,
-        max_events, sink, profiler,
+        max_events, sink, profiler, delta_propagation,
     )
     result = sim.run()
     survivors = check_sifting_phase(result) if check else sum(
@@ -279,6 +285,7 @@ def run_renaming(
     record_events: bool = False,
     sink=None,
     profiler=None,
+    delta_propagation: bool = True,
 ) -> RenamingRun:
     """Run one renaming execution to completion and check it."""
     if algorithm == "paper":
@@ -294,7 +301,7 @@ def run_renaming(
     participants = choose_participants(n, k, pattern, seed)
     sim = _build_simulation(
         n, factory, participants, adversary, seed, crash_schedule,
-        record_events, max_events, sink, profiler,
+        record_events, max_events, sink, profiler, delta_propagation,
     )
     result = sim.run(require_termination=check and not crash_schedule)
     names = check_renaming(result) if check else dict(result.outcomes)

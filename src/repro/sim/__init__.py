@@ -6,6 +6,7 @@ channels, adversary-scheduled computation/delivery steps, crash faults,
 and the quorum-based ``communicate`` primitive of [ABND95].
 """
 
+from . import pidset
 from .communicate import Collect, PendingCall, Propagate, Request
 from .errors import (
     AdversaryProtocolError,
@@ -66,4 +67,5 @@ __all__ = [
     "derive_seed",
     "make_stream",
     "merge_entry",
+    "pidset",
 ]

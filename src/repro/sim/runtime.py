@@ -43,6 +43,7 @@ from .errors import (
 )
 from .messages import InFlightPool, Message, MessageKind
 from .process import AlgorithmFactory, Process, ProcessStatus
+from .registers import DeltaTracker
 from .rng import make_stream
 from .trace import Metrics, Trace, TraceAdapterSink
 
@@ -137,6 +138,7 @@ class Simulation:
         max_events: int | None = None,
         sink: "EventSink | None" = None,
         profiler: "Profiler | None" = None,
+        delta_propagation: bool = True,
     ) -> None:
         if n < 1:
             raise ValueError("need at least one processor")
@@ -151,8 +153,25 @@ class Simulation:
             Process(pid, n, make_stream(seed, f"proc/{pid}"), participants.get(pid))
             for pid in range(n)
         ]
-        self.in_flight = InFlightPool()
+        # Skip the per-endpoint index bookkeeping when this run's
+        # adversary declared it never reads the index API.
+        self.in_flight = InFlightPool(
+            indexed=getattr(adversary, "uses_endpoint_indexes", True)
+        )
         self.metrics = Metrics(n)
+        # Delta propagation: per-sender trackers (created lazily on first
+        # broadcast) that shrink PROPAGATE payloads to entries the
+        # recipient has not provably absorbed.  Semantically invisible —
+        # register states, events, and metrics are identical to full
+        # propagation (metrics/events report *logical* payload sizes);
+        # the physical savings are reported via :attr:`delta_stats`.
+        self.delta_propagation = delta_propagation
+        self._delta: dict[int, DeltaTracker] | None = (
+            {} if delta_propagation else None
+        )
+        # Recycled Message objects (only when no event sink holds raw
+        # message references); see _deliver.
+        self._free_messages: list[Message] = []
         self.trace = Trace(enabled=record_events)
         self.profiler = profiler
         # The structured event stream (repro.obs).  ``record_events`` keeps
@@ -347,37 +366,58 @@ class Simulation:
             return  # delivered into the void; faulty processors never reply
         if message.kind is MessageKind.PROPAGATE:
             assert message.entries is not None
-            recipient.registers.merge(message.var, message.entries)
+            if message.entries:
+                # Empty payloads (fully delta-suppressed) skip the merge
+                # call outright — merging {} is a no-op anyway.
+                recipient.registers.merge(message.var, message.entries)
             self._send(
                 recipient,
-                Message(
+                self._new_message(
                     sender=recipient.pid,
                     recipient=message.sender,
                     kind=MessageKind.ACK,
                     call_id=message.call_id,
                     var=message.var,
-                    uid=next(self._uid_counter),
                 ),
+                0,
             )
         elif message.kind is MessageKind.COLLECT:
+            # Shared copy-on-write snapshot of the responder's view;
+            # zero-copy until the responder's next write to the var.  The
+            # memoized value view rides along so the collector appends it
+            # without rebuilding {key: value} per reply.
+            entries = recipient.registers.entries(message.var)
             self._send(
                 recipient,
-                Message(
+                self._new_message(
                     sender=recipient.pid,
                     recipient=message.sender,
                     kind=MessageKind.COLLECT_REPLY,
                     call_id=message.call_id,
                     var=message.var,
-                    # Shared copy-on-write snapshot of the responder's view;
-                    # zero-copy until the responder's next write to the var.
-                    entries=recipient.registers.entries(message.var),
-                    uid=next(self._uid_counter),
+                    entries=entries,
+                    view=recipient.registers.value_view(message.var),
                 ),
+                len(entries),
             )
         else:
             self._record_reply(recipient, message)
+        if self._obs is None and len(self._free_messages) < 256:
+            # Recycle the delivered Message: nothing retains it (the pool
+            # dropped it above, views/metrics keep only payload mappings,
+            # and adversaries do not hold delivered messages).  With an
+            # event sink attached the raw object escaped into the stream,
+            # so recycling is disabled entirely.
+            self._free_messages.append(message)
 
     def _record_reply(self, process: Process, message: Message) -> None:
+        if message.kind is MessageKind.ACK and self._delta is not None:
+            # Fold the ACK into the sender's delta watermarks *before* the
+            # staleness check: an ACK arriving after its call resolved
+            # still proves the recipient merged that call's payload.
+            tracker = self._delta.get(process.pid)
+            if tracker is not None:
+                tracker.on_ack(message.sender, message.call_id)
         pending = process.pending
         if pending is None or pending.call_id != message.call_id:
             return  # stale acknowledgement for an already-resolved call
@@ -388,9 +428,10 @@ class Simulation:
         ):
             assert message.entries is not None and pending.views is not None
             pending.acks += 1
-            pending.views.append(
-                {key: entry[1] for key, entry in message.entries.items()}
-            )
+            view = message.view
+            if view is None:  # externally built reply (unit tests)
+                view = {key: entry[1] for key, entry in message.entries.items()}
+            pending.views.append(view)
         if pending.satisfied and process.status is ProcessStatus.RUNNING:
             self._needs_step.add(process.pid)
             if self._obs is not None:
@@ -489,34 +530,79 @@ class Simulation:
             ))
         needed_remote = self.n // 2  # quorum = floor(n/2) + 1, counting self
         pending = PendingCall(call_id=call_id, request=request, needed=needed_remote)
+        pid = process.pid
+        var = request.var
+        tracker = None
+        ticks: Mapping[Any, int] = _NO_FIELDS
+        payload_cache: dict[int, Mapping[Any, Any]] = {}
         if isinstance(request, Propagate):
             # One payload mapping per communicate call, shared (frozen,
             # copy-on-write — see RegisterFile.entries) by all n-1 messages.
             entries = process.registers.entries(request.var, request.keys)
             kind = MessageKind.PROPAGATE
+            # ``cells`` is the logical payload size; delta mode may ship
+            # fewer physical entries per recipient but reports this.
+            cells = len(entries)
+            if self._delta is not None:
+                tracker = self._delta.get(pid)
+                if tracker is None:
+                    tracker = self._delta[pid] = DeltaTracker()
+                ticks = process.registers.mod_ticks(var)
+                tracker.begin_call(call_id, var, entries, ticks)
         else:
             entries = None
-            pending.views = [process.registers.view(request.var)]
+            pending.views = [process.registers.value_view(var)]
             kind = MessageKind.COLLECT
+            cells = 0
         process.pending = pending
-        uid_counter = self._uid_counter
-        pid = process.pid
-        var = request.var
-        for recipient in range(self.n):
-            if recipient == pid:
-                continue
-            self._send(
-                process,
-                Message(
+        if self._obs is None:
+            # Batched fast path: per-message accounting (metrics, counter
+            # bumps) is folded into one update after the loop; only the
+            # pool insertion remains per message.
+            in_flight = self.in_flight
+            for recipient in range(self.n):
+                if recipient == pid:
+                    continue
+                payload = (
+                    entries
+                    if tracker is None
+                    else tracker.payload_for(
+                        recipient, var, entries, ticks, payload_cache
+                    )
+                )
+                in_flight.add(self._new_message(
                     sender=pid,
                     recipient=recipient,
                     kind=kind,
                     call_id=call_id,
                     var=var,
-                    entries=entries,
-                    uid=next(uid_counter),
-                ),
-            )
+                    entries=payload,
+                ))
+            process.messages_sent += self.n - 1
+            self.metrics.record_send_batch(pid, kind, cells, self.n - 1)
+        else:
+            for recipient in range(self.n):
+                if recipient == pid:
+                    continue
+                payload = (
+                    entries
+                    if tracker is None
+                    else tracker.payload_for(
+                        recipient, var, entries, ticks, payload_cache
+                    )
+                )
+                self._send(
+                    process,
+                    self._new_message(
+                        sender=pid,
+                        recipient=recipient,
+                        kind=kind,
+                        call_id=call_id,
+                        var=var,
+                        entries=payload,
+                    ),
+                    cells,
+                )
         if pending.satisfied:
             # Degenerate quorums (n == 1): resolvable without remote acks.
             self._needs_step.add(process.pid)
@@ -528,9 +614,49 @@ class Simulation:
                     {"call": call_id, "acks": pending.acks},
                 ))
 
-    def _send(self, sender: Process, message: Message) -> None:
+    def _new_message(
+        self,
+        sender: int,
+        recipient: int,
+        kind: MessageKind,
+        call_id: int,
+        var: str,
+        entries: Mapping[Any, Any] | None = None,
+        view: Mapping[Any, Any] | None = None,
+    ) -> Message:
+        """Build (or recycle) a Message, stamping the run-local uid.
+
+        Recycled objects come from the freelist populated by
+        :meth:`_deliver`; every field is overwritten here, so reuse is
+        invisible.  The freelist stays empty whenever an event sink is
+        attached (raw messages then escape into the stream).
+        """
+        free = self._free_messages
+        if free:
+            message = free.pop()
+            message.sender = sender
+            message.recipient = recipient
+            message.kind = kind
+            message.call_id = call_id
+            message.var = var
+            message.entries = entries
+            message.view = view
+            message.uid = next(self._uid_counter)
+            return message
+        return Message(
+            sender=sender,
+            recipient=recipient,
+            kind=kind,
+            call_id=call_id,
+            var=var,
+            entries=entries,
+            uid=next(self._uid_counter),
+            view=view,
+        )
+
+    def _send(self, sender: Process, message: Message, cells: int) -> None:
+        """Account and enqueue one message; ``cells`` is the logical size."""
         sender.messages_sent += 1
-        cells = len(message.entries) if message.entries is not None else 0
         self.metrics.record_send(sender.pid, message.kind, cells)
         if self._obs is not None:
             self._obs.emit(Event(
@@ -548,3 +674,26 @@ class Simulation:
                 raw=message,
             ))
         self.in_flight.add(message)
+
+    @property
+    def delta_stats(self) -> dict[str, int]:
+        """Physical delta-propagation savings, summed over all senders.
+
+        Diagnostics only: ``Metrics``/events always report logical payload
+        sizes, so these counters are the *only* place full and delta runs
+        differ.  All zeros when ``delta_propagation=False`` or nothing was
+        suppressed.
+        """
+        stats = {
+            "full_payloads": 0,
+            "delta_payloads": 0,
+            "empty_payloads": 0,
+            "cells_suppressed": 0,
+        }
+        if self._delta:
+            for tracker in self._delta.values():
+                stats["full_payloads"] += tracker.full_payloads
+                stats["delta_payloads"] += tracker.delta_payloads
+                stats["empty_payloads"] += tracker.empty_payloads
+                stats["cells_suppressed"] += tracker.cells_suppressed
+        return stats

@@ -66,11 +66,33 @@ class Metrics:
         self.events_executed = 0
 
     def record_send(self, sender: int, kind: MessageKind, cells: int = 0) -> None:
-        """Account one sent message of ``kind`` carrying ``cells`` register cells."""
+        """Account one sent message of ``kind`` carrying ``cells`` register cells.
+
+        ``cells`` is the *logical* payload size — the number of register
+        cells the message semantically conveys (what full propagation
+        would ship).  Delta propagation may physically ship fewer, but
+        reports the logical size here so metrics and traces are identical
+        across modes; physical savings live in ``Simulation.delta_stats``.
+        """
         self.messages_total += 1
         self.messages_by_kind[kind] += 1
         self.messages_sent_by[sender] += 1
         self.payload_cells += cells
+
+    def record_send_batch(
+        self, sender: int, kind: MessageKind, cells: int, count: int
+    ) -> None:
+        """Account ``count`` same-kind sends of ``cells`` logical cells each.
+
+        The broadcast loop of one ``communicate`` call sends ``n - 1``
+        messages that differ only in recipient and uid; folding them in
+        one call keeps the Deliver/Step hot path free of per-message
+        bookkeeping when no event sink is attached.
+        """
+        self.messages_total += count
+        self.messages_by_kind[kind] += count
+        self.messages_sent_by[sender] += count
+        self.payload_cells += cells * count
 
     def record_comm_call(self, pid: int) -> None:
         """Account one ``communicate`` call issued by ``pid``."""

@@ -1,0 +1,135 @@
+"""Death-rule equivalence pins: single-pass bitset scan == Figure 1/2 text.
+
+The optimized verdict functions (`poison_pill_death_verdict`,
+`heterogeneous_death_verdict`) accumulate `strong_seen`/`low_seen`
+pidsets in one pass instead of rescanning every view per learned pid.
+These tests pin them against direct transcriptions of the paper's
+pseudocode on handcrafted view sets (the corner cases) and on
+exhaustively enumerated small view universes.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.heterogeneous import heterogeneous_death_verdict
+from repro.core.poison_pill import poison_pill_death_verdict
+from repro.core.protocol import HetStatus, Outcome, PillState
+from repro.sim import pidset
+
+LOW, HIGH, COMMIT = PillState.LOW, PillState.HIGH, PillState.COMMIT
+
+
+def reference_pp_verdict(views):
+    """Figure 1 lines 9-11, transcribed literally (the pre-PR scan)."""
+    participants = {j for view in views for j in view}
+    for j in participants:
+        seen_strong = any(
+            view.get(j) in (PillState.COMMIT, PillState.HIGH) for view in views
+        )
+        seen_low = any(view.get(j) is PillState.LOW for view in views)
+        if seen_strong and not seen_low:
+            return Outcome.DIE
+    return Outcome.SURVIVE
+
+
+def reference_hpp_verdict(views, use_lists=True):
+    """Figure 2 lines 26-29, transcribed literally (the pre-PR scan)."""
+    learned: set[int] = set()
+    if use_lists:
+        for view in views:
+            for status in view.values():
+                learned.update(pidset.to_frozenset(status.members))
+    learned.update(j for view in views for j in view)
+    for j in learned:
+        if not any(
+            j in view and view[j].state is PillState.LOW for view in views
+        ):
+            return frozenset(learned), Outcome.DIE
+    return frozenset(learned), Outcome.SURVIVE
+
+
+class TestPoisonPillVerdict:
+    HANDCRAFTED = [
+        [],                                        # no views at all
+        [{}],                                      # one empty view
+        [{0: LOW}],                                # only self, low
+        [{0: COMMIT}],                             # a committed pid, never low
+        [{0: COMMIT}, {0: LOW}],                   # strong in one, low in another
+        [{0: HIGH, 1: LOW}, {2: COMMIT}],          # mixed
+        [{0: LOW, 1: LOW}, {0: LOW}],              # all low everywhere
+        [{5: HIGH}, {5: LOW}, {7: COMMIT}],        # sparse pids
+        [{0: COMMIT, 1: HIGH, 2: LOW}] * 3,        # repeated identical views
+    ]
+
+    @pytest.mark.parametrize("views", HANDCRAFTED)
+    def test_handcrafted(self, views):
+        assert poison_pill_death_verdict(views) == reference_pp_verdict(views)
+
+    def test_exhaustive_two_views_three_pids(self):
+        """Every assignment of {absent, LOW, HIGH, COMMIT} to 3 pids in 2
+        views agrees with the literal transcription (4^6 = 4096 cases)."""
+        states = (None, LOW, HIGH, COMMIT)
+        for combo in itertools.product(states, repeat=6):
+            views = [
+                {j: s for j, s in enumerate(combo[:3]) if s is not None},
+                {j: s for j, s in enumerate(combo[3:]) if s is not None},
+            ]
+            assert poison_pill_death_verdict(views) == reference_pp_verdict(views)
+
+
+def hs(state, members):
+    return HetStatus(state, pidset.from_iterable(members))
+
+
+class TestHeterogeneousVerdict:
+    HANDCRAFTED = [
+        [],
+        [{}],
+        [{0: hs(LOW, [0])}],
+        # pid 1 appears in a members list but was never seen LOW -> DIE
+        [{0: hs(LOW, [0, 1])}],
+        # pid 1 in a members list and seen LOW in another view -> SURVIVE
+        [{0: hs(LOW, [0, 1])}, {1: hs(LOW, [1])}],
+        # a key that is HIGH and never LOW -> DIE even with empty lists
+        [{0: hs(LOW, []), 1: hs(HIGH, [])}],
+        # COMMIT counts as "not seen low" too
+        [{0: hs(LOW, [0]), 2: hs(COMMIT, [])}],
+        # deep list chain: 0 lists 3, 3 nowhere LOW
+        [{0: hs(LOW, [0, 3])}, {1: hs(LOW, [1])}, {0: hs(LOW, [0, 3])}],
+        # everyone LOW, lists closed -> SURVIVE
+        [{0: hs(LOW, [0, 1]), 1: hs(LOW, [0, 1])}],
+        # sparse pids well past 64 (multi-word bitmask)
+        [{70: hs(LOW, [70, 130])}, {130: hs(LOW, [130])}],
+    ]
+
+    @pytest.mark.parametrize("views", HANDCRAFTED)
+    @pytest.mark.parametrize("use_lists", [True, False])
+    def test_handcrafted(self, views, use_lists):
+        learned, outcome = heterogeneous_death_verdict(views, use_lists)
+        ref_learned, ref_outcome = reference_hpp_verdict(views, use_lists)
+        assert pidset.to_frozenset(learned) == ref_learned
+        assert outcome == ref_outcome
+
+    @pytest.mark.parametrize("use_lists", [True, False])
+    def test_exhaustive_small_universe(self, use_lists):
+        """Two views over 2 pids, each status LOW/HIGH with any members
+        subset of {0,1,2}: every combination agrees with the reference."""
+        options = [None] + [
+            hs(state, members)
+            for state in (LOW, HIGH)
+            for members in itertools.chain.from_iterable(
+                itertools.combinations(range(3), r) for r in range(4)
+            )
+        ]
+        for a0, a1, b0, b1 in itertools.product(options, repeat=4):
+            views = [
+                {j: s for j, s in ((0, a0), (1, a1)) if s is not None},
+                {j: s for j, s in ((0, b0), (1, b1)) if s is not None},
+            ]
+            learned, outcome = heterogeneous_death_verdict(views, use_lists)
+            ref_learned, ref_outcome = reference_hpp_verdict(views, use_lists)
+            assert pidset.to_frozenset(learned) == ref_learned
+            assert outcome == ref_outcome

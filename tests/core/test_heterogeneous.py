@@ -8,7 +8,7 @@ from repro.analysis.theory import hpp_survivors
 from repro.core import HetStatus, Outcome, PillState, make_heterogeneous_poison_pill
 from repro.core.heterogeneous import heterogeneous_bias
 from repro.harness import run_sifting_phase
-from repro.sim import Simulation
+from repro.sim import Simulation, pidset
 
 from ..conftest import ALL_ADVERSARY_NAMES, fresh_adversary
 
@@ -89,7 +89,7 @@ class TestObservedLists:
         for pid in range(n):
             status = sim.processes[pid].registers.get("hpp.Status", pid)
             assert isinstance(status, HetStatus)
-            assert status.members == frozenset(range(pid + 1))
+            assert pidset.to_frozenset(status.members) == frozenset(range(pid + 1))
 
     def test_first_sequential_processor_flips_high(self):
         """|l| = 1 forces probability 1, so the first processor to run
@@ -122,7 +122,8 @@ class TestObservedLists:
         for process in sim.processes:
             status = process.registers.get("hpp.Status", process.pid)
             assert status.state in (PillState.LOW, PillState.HIGH)
-            assert process.pid in status.members  # everyone observes itself
+            # everyone observes itself
+            assert pidset.contains(status.members, process.pid)
 
 
 class TestClosureProperty:
@@ -146,12 +147,12 @@ class TestClosureProperty:
             if outcome is Outcome.SURVIVE
             and sim.processes[pid].coins.last_value("hpp.coin") == 0
         ]
-        union: set[int] = set()
+        union = pidset.EMPTY
         for pid in low_survivors:
             union |= sim.processes[pid].registers.get("hpp.learned", pid)
-        for member in union:
+        for member in pidset.iter_bits(union):
             # Claim 3.3 (as in its proof): every processor in U flipped 0,
             # and its own l list is contained in U.
             assert sim.processes[member].coins.last_value("hpp.coin") == 0
             status = sim.processes[member].registers.get("hpp.Status", member)
-            assert status.members <= union
+            assert pidset.is_subset(status.members, union)

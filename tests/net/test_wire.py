@@ -72,7 +72,8 @@ def _extend(children):
         st.builds(
             HetStatus,
             st.sampled_from(["low", "high", "commit"]),
-            st.frozensets(st.integers(min_value=0, max_value=63), max_size=4),
+            # members is a pidset bitmask int (see repro.sim.pidset).
+            st.integers(min_value=0, max_value=2**64 - 1),
         ),
     )
 

@@ -1,0 +1,277 @@
+"""Delta propagation must be invisible: full and delta runs are identical.
+
+The tentpole optimization (per-``(var, recipient)`` high-water marks that
+shrink PROPAGATE payloads) is only sound if it is *unobservable*: for any
+adversary and seed, the run with ``delta_propagation=True`` must produce a
+byte-identical event stream, equal metrics, and the same outcomes as the
+run with full payloads.  These tests pin that contract across every
+registered adversary, and separately pin the pieces it is built from —
+the ACK-driven :class:`DeltaTracker` watermarks and the copy-on-write
+guarantee that held broadcast payloads never observe later writes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import ADVERSARY_FACTORIES
+from repro.harness.runners import (
+    run_leader_election,
+    run_renaming,
+    run_sifting_phase,
+)
+from repro.obs.events import ListSink
+from repro.obs.jsonl import event_line
+from repro.sim.registers import DeltaTracker, RegisterFile
+
+
+def _elect_stream(adversary: str, seed: int, delta: bool):
+    """One recorded election: (JSONL lines, metrics summary, winner)."""
+    sink = ListSink()
+    run = run_leader_election(
+        n=16, adversary=adversary, seed=seed, sink=sink,
+        delta_propagation=delta,
+    )
+    lines = [event_line(event) for event in sink.events]
+    return lines, run.result.metrics.summary(), run.winner
+
+
+class TestFullVsDeltaEquivalence:
+    """Satellite: the delta fast path never changes an execution."""
+
+    @pytest.mark.parametrize("adversary", sorted(ADVERSARY_FACTORIES))
+    def test_elect_byte_identical_across_modes(self, adversary):
+        full = _elect_stream(adversary, seed=3, delta=False)
+        delta = _elect_stream(adversary, seed=3, delta=True)
+        assert full[0] == delta[0]  # byte-identical event streams
+        assert full[1] == delta[1]  # equal Metrics
+        assert full[2] == delta[2]  # same winner
+
+    def test_sift_and_rename_identical_across_modes(self):
+        for task, runner, headline in (
+            ("sift", run_sifting_phase, lambda r: r.survivors),
+            ("rename", run_renaming, lambda r: dict(r.names)),
+        ):
+            streams = []
+            for delta in (False, True):
+                sink = ListSink()
+                run = runner(
+                    n=16, adversary="random", seed=5, sink=sink,
+                    delta_propagation=delta,
+                )
+                streams.append((
+                    [event_line(event) for event in sink.events],
+                    run.result.metrics.summary(),
+                    headline(run),
+                ))
+            assert streams[0] == streams[1], f"{task} diverged across modes"
+
+    def test_no_sink_metrics_identical_across_modes(self):
+        # The batched (sink-free) accounting path must agree with full mode
+        # just like the per-message path does.
+        runs = [
+            run_leader_election(
+                n=32, adversary="random", seed=7, delta_propagation=delta
+            )
+            for delta in (False, True)
+        ]
+        summaries = [run.result.metrics.summary() for run in runs]
+        assert summaries[0] == summaries[1]
+        assert runs[0].winner == runs[1].winner
+        assert runs[0].rounds == runs[1].rounds
+
+
+class TestDeltaActuallySuppresses:
+    """The optimization must do real work, not just stay invisible.
+
+    Renaming is the workload with genuine re-propagation: sticky
+    ``Contended`` flags are re-shipped round after round (renaming lines
+    37/41), and once a recipient acked them they stay unchanged — exactly
+    the cells the delta layer exists to suppress.
+    """
+
+    @staticmethod
+    def _run_simulation(delta: bool):
+        from repro.adversary import RandomAdversary
+        from repro.core import make_get_name
+        from repro.sim.runtime import Simulation
+
+        factory = make_get_name()
+        sim = Simulation(
+            n=16,
+            participants={pid: factory for pid in range(16)},
+            adversary=RandomAdversary(seed=11),
+            seed=11,
+            delta_propagation=delta,
+        )
+        sim.run()
+        return sim
+
+    def test_delta_mode_suppresses_cells(self):
+        sim = self._run_simulation(delta=True)
+        stats = sim.delta_stats
+        assert stats["cells_suppressed"] > 0
+        assert stats["delta_payloads"] + stats["empty_payloads"] > 0
+        # Logical accounting is untouched: payload_cells still counts what
+        # full propagation would have shipped, so it exceeds the physical
+        # volume by exactly the suppressed cells.
+        assert sim.metrics.payload_cells > 0
+
+    def test_full_mode_reports_zero_savings(self):
+        sim = self._run_simulation(delta=False)
+        assert sim.delta_stats == {
+            "full_payloads": 0,
+            "delta_payloads": 0,
+            "empty_payloads": 0,
+            "cells_suppressed": 0,
+        }
+
+
+ENTRY_A1 = (1, "a1", "v")
+ENTRY_B1 = (1, "b1", "v")
+ENTRY_B2 = (2, "b2", "v")
+
+
+class TestDeltaTracker:
+    """Unit semantics of the ACK-driven watermark bookkeeping."""
+
+    def test_first_send_is_full(self):
+        tracker = DeltaTracker()
+        full = {0: ENTRY_A1, 1: ENTRY_B1}
+        ticks = {0: 1, 1: 2}
+        tracker.begin_call(1, "v", full, ticks)
+        payload = tracker.payload_for(5, "v", full, ticks, {})
+        assert payload is full
+        assert tracker.full_payloads == 1
+
+    def test_unacked_send_does_not_advance_watermarks(self):
+        # Send twice with no ACK in between: the second payload must still
+        # be full — an in-flight payload proves nothing about the recipient.
+        tracker = DeltaTracker()
+        full = {0: ENTRY_A1}
+        ticks = {0: 1}
+        tracker.begin_call(1, "v", full, ticks)
+        tracker.payload_for(5, "v", full, ticks, {})
+        tracker.begin_call(2, "v", full, ticks)
+        assert tracker.payload_for(5, "v", full, ticks, {}) is full
+
+    def test_acked_unchanged_cells_are_suppressed(self):
+        tracker = DeltaTracker()
+        full = {0: ENTRY_A1, 1: ENTRY_B1}
+        ticks = {0: 1, 1: 2}
+        tracker.begin_call(1, "v", full, ticks)
+        tracker.on_ack(5, 1)
+        # Nothing changed since the acked call: the whole payload vanishes.
+        payload = tracker.payload_for(5, "v", full, ticks, {})
+        assert payload == {}
+        assert tracker.empty_payloads == 1
+        assert tracker.cells_suppressed == 2
+        # A different recipient never acked: still full.
+        assert tracker.payload_for(6, "v", full, ticks, {}) is full
+
+    def test_changed_cell_reappears_in_delta(self):
+        tracker = DeltaTracker()
+        full = {0: ENTRY_A1, 1: ENTRY_B1}
+        ticks = {0: 1, 1: 2}
+        tracker.begin_call(1, "v", full, ticks)
+        tracker.on_ack(5, 1)
+        # Key 1 changed (tick 2 -> 3): only it ships.
+        full2 = {0: ENTRY_A1, 1: ENTRY_B2}
+        ticks2 = {0: 1, 1: 3}
+        tracker.begin_call(2, "v", full2, ticks2)
+        payload = tracker.payload_for(5, "v", full2, ticks2, {})
+        assert payload == {1: ENTRY_B2}
+        assert tracker.delta_payloads == 1
+
+    def test_stale_ack_still_advances_watermarks(self):
+        # An ACK for a long-resolved call proves the merge happened; the
+        # tracker must honour it even though the pending call is gone.
+        tracker = DeltaTracker()
+        full = {0: ENTRY_A1}
+        ticks = {0: 1}
+        tracker.begin_call(1, "v", full, ticks)
+        tracker.begin_call(2, "v", full, ticks)  # call 1 resolved meanwhile
+        tracker.on_ack(5, 1)  # stale: arrives after call 1 resolved
+        assert tracker.payload_for(5, "v", full, ticks, {}) == {}
+
+    def test_unknown_ack_is_ignored(self):
+        tracker = DeltaTracker()
+        tracker.on_ack(5, 999)  # not a call this tracker began
+        full = {0: ENTRY_A1}
+        assert tracker.payload_for(5, "v", full, {0: 1}, {}) is full
+
+    def test_cache_shares_identical_masks(self):
+        tracker = DeltaTracker()
+        full = {0: ENTRY_A1, 1: ENTRY_B1}
+        ticks = {0: 1, 1: 2}
+        tracker.begin_call(1, "v", full, ticks)
+        tracker.on_ack(5, 1)
+        tracker.on_ack(6, 1)
+        full2 = {0: ENTRY_A1, 1: ENTRY_B2}
+        ticks2 = {0: 1, 1: 3}
+        tracker.begin_call(2, "v", full2, ticks2)
+        cache: dict = {}
+        payload5 = tracker.payload_for(5, "v", full2, ticks2, cache)
+        payload6 = tracker.payload_for(6, "v", full2, ticks2, cache)
+        assert payload5 is payload6  # one shared mapping per mask
+        assert len(cache) == 1
+
+
+class TestCopyOnWriteUnderDelta:
+    """Satellite: held broadcast payloads never observe later writes.
+
+    Delta mode leans harder on payload sharing (one mapping can sit in
+    many in-flight messages while the sender keeps writing), so the COW
+    contract of ``RegisterFile.entries`` is pinned here under exactly
+    that usage pattern.
+    """
+
+    def test_held_payload_frozen_across_later_puts(self):
+        registers = RegisterFile()
+        registers.put("v", 0, "first")
+        payload = registers.entries("v")  # broadcast payload, shared
+        registers.put("v", 0, "second")
+        registers.put("v", 1, "new-cell")
+        assert payload[0][1] == "first"
+        assert 1 not in payload
+        assert registers.get("v", 0) == "second"
+
+    def test_held_payload_frozen_across_merge(self):
+        registers = RegisterFile()
+        registers.put("v", 0, "mine")
+        payload = registers.entries("v")
+        registers.merge("v", {1: (1, "theirs", "v")})
+        assert dict(payload) == {0: payload[0]}
+        assert registers.get("v", 1) == "theirs"
+
+    def test_mod_ticks_track_changes_not_rewrites(self):
+        registers = RegisterFile()
+        registers.put("door", 0, True, policy="o")
+        tick = registers.mod_ticks("door")[0]
+        # Re-asserting a sticky OR flag stores an equal entry: no change,
+        # no tick bump — the delta layer may keep suppressing the cell.
+        registers.put("door", 0, True, policy="o")
+        assert registers.mod_ticks("door")[0] == tick
+        registers.merge("door", {0: (1, True, "o")})
+        assert registers.mod_ticks("door")[0] == tick
+
+    def test_remerging_shared_payload_does_not_copy(self):
+        registers = RegisterFile()
+        registers.put("v", 0, "x")
+        payload = registers.entries("v")
+        # Merging an already-absorbed payload back in is a no-op and must
+        # not trigger the copy-on-write path (no tick bump either).
+        ticks_before = dict(registers.mod_ticks("v"))
+        registers.merge("v", payload)
+        assert registers.entries("v") is payload
+        assert dict(registers.mod_ticks("v")) == ticks_before
+
+    def test_value_view_snapshot_semantics(self):
+        registers = RegisterFile()
+        registers.put("v", 0, "old")
+        view_one = registers.value_view("v")
+        assert registers.value_view("v") is view_one  # memoized per epoch
+        registers.put("v", 0, "new")
+        view_two = registers.value_view("v")
+        assert view_one == {0: "old"}  # held snapshot untouched
+        assert view_two == {0: "new"}

@@ -157,6 +157,77 @@ class TestInFlightPool:
         assert set(pool) == messages
 
 
+class TestUnindexedPool:
+    """The indexed=False fast path: no endpoint bookkeeping, loud failure."""
+
+    def test_add_remove_work_without_indexes(self):
+        pool = InFlightPool(indexed=False)
+        assert not pool.indexed
+        messages = [msg(sender=i) for i in range(5)]
+        for message in messages:
+            pool.add(message)
+        assert pool.any_message() is messages[-1]
+        pool.remove(messages[1])
+        assert set(pool.snapshot()) == set(messages) - {messages[1]}
+        for message in pool.snapshot():
+            pool.remove(message)
+        assert len(pool) == 0
+
+    def test_index_api_raises(self):
+        # Lazily rebuilding would scramble insertion order (swap-remove
+        # reorders the list) and silently break determinism, so the API
+        # refuses instead.
+        pool = InFlightPool(indexed=False)
+        pool.add(msg(sender=1, recipient=2))
+        with pytest.raises(RuntimeError, match="uses_endpoint_indexes"):
+            pool.sent_by(1)
+        with pytest.raises(RuntimeError, match="indexed=False"):
+            pool.addressed_to(2)
+        with pytest.raises(RuntimeError):
+            list(pool.involving(1))
+
+    def test_indexed_default_unchanged(self):
+        pool = InFlightPool()
+        assert pool.indexed
+        message = msg(sender=1, recipient=2)
+        pool.add(message)
+        assert pool.sent_by(1) == {message}
+
+    def test_declaring_adversaries_match_their_usage(self):
+        # Every adversary that declares uses_endpoint_indexes=False must be
+        # one of the audited scan-only strategies; the targeted ones keep
+        # the default.
+        from repro.adversary import ADVERSARY_FACTORIES
+
+        flags = {
+            name: factory().uses_endpoint_indexes
+            for name, factory in ADVERSARY_FACTORIES.items()
+        }
+        assert flags == {
+            "random": False,
+            "eager": False,
+            "round_robin": False,
+            "oblivious": False,
+            "sequential": False,
+            "quorum_split": False,
+            "coin_aware": True,
+            "bubble": True,
+        }
+
+    def test_crash_wrappers_inherit_flag(self):
+        from repro.adversary import (
+            CrashingAdversary,
+            RandomAdversary,
+            RandomCrashAdversary,
+        )
+        from repro.adversary.bubble import BubbleAdversary
+
+        inner = RandomAdversary(seed=0)
+        assert not CrashingAdversary(inner, []).uses_endpoint_indexes
+        assert not RandomCrashAdversary(inner).uses_endpoint_indexes
+        assert CrashingAdversary(BubbleAdversary(), []).uses_endpoint_indexes
+
+
 @given(
     st.lists(
         st.tuples(

@@ -1,0 +1,69 @@
+"""Unit tests for the pidset bitmask encoding."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import pidset
+
+pid_sets = st.frozensets(st.integers(min_value=0, max_value=300), max_size=20)
+
+
+class TestRoundTrip:
+    @given(pid_sets)
+    def test_from_iterable_to_frozenset(self, pids):
+        assert pidset.to_frozenset(pidset.from_iterable(pids)) == pids
+
+    @given(pid_sets)
+    def test_popcount_matches_len(self, pids):
+        assert pidset.popcount(pidset.from_iterable(pids)) == len(pids)
+
+    @given(pid_sets)
+    def test_iter_bits_ascending(self, pids):
+        assert list(pidset.iter_bits(pidset.from_iterable(pids))) == sorted(pids)
+
+
+class TestSetAlgebra:
+    @given(pid_sets, pid_sets)
+    def test_union(self, a, b):
+        bits = pidset.union(pidset.from_iterable(a), pidset.from_iterable(b))
+        assert pidset.to_frozenset(bits) == a | b
+
+    @given(st.lists(pid_sets, max_size=5))
+    def test_union_all(self, sets):
+        bits = pidset.union_all(pidset.from_iterable(s) for s in sets)
+        assert pidset.to_frozenset(bits) == frozenset().union(*sets)
+
+    @given(pid_sets, pid_sets)
+    def test_is_subset(self, a, b):
+        assert pidset.is_subset(
+            pidset.from_iterable(a), pidset.from_iterable(b)
+        ) == (a <= b)
+
+    @given(pid_sets, st.integers(min_value=0, max_value=300))
+    def test_contains_add_discard(self, pids, pid):
+        bits = pidset.from_iterable(pids)
+        assert pidset.contains(bits, pid) == (pid in pids)
+        assert pidset.contains(pidset.add(bits, pid), pid)
+        assert not pidset.contains(pidset.discard(bits, pid), pid)
+
+
+class TestEdges:
+    def test_empty(self):
+        assert pidset.EMPTY == 0
+        assert pidset.popcount(pidset.EMPTY) == 0
+        assert list(pidset.iter_bits(pidset.EMPTY)) == []
+        assert pidset.to_frozenset(pidset.EMPTY) == frozenset()
+        assert pidset.is_subset(pidset.EMPTY, pidset.EMPTY)
+
+    def test_singleton(self):
+        assert pidset.singleton(0) == 1
+        assert pidset.singleton(64) == 1 << 64
+        assert pidset.to_frozenset(pidset.singleton(4095)) == {4095}
+
+    def test_large_n_is_compact(self):
+        """At n = 4096 the full set is a single ~512-byte int."""
+        full = pidset.from_iterable(range(4096))
+        assert pidset.popcount(full) == 4096
+        assert full.bit_length() == 4096

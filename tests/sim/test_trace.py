@@ -24,6 +24,16 @@ class TestMetrics:
         assert metrics.messages_sent_by[2] == 2
         assert metrics.request_messages == 1
 
+    def test_record_send_batch_equals_repeated_sends(self):
+        batched = Metrics(4)
+        unbatched = Metrics(4)
+        batched.record_send_batch(1, MessageKind.PROPAGATE, cells=3, count=5)
+        for _ in range(5):
+            unbatched.record_send(1, MessageKind.PROPAGATE, cells=3)
+        assert batched.summary() == unbatched.summary()
+        assert batched.messages_sent_by == unbatched.messages_sent_by
+        assert batched.messages_by_kind == unbatched.messages_by_kind
+
     def test_record_comm_call(self):
         metrics = Metrics(4)
         metrics.record_comm_call(1)
