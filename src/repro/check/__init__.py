@@ -7,6 +7,10 @@ machine-checked properties:
   (unique winner, at-least-one-survivor, linearizability, name
   uniqueness, ...) mapped to the claims and lemmas they reproduce, plus
   the protocol registry ``repro check`` can target.
+* :mod:`repro.check.streaming` — the streaming face of the registry: a
+  :class:`~repro.check.streaming.StreamingChecker` event sink that
+  evaluates incremental-capable invariants *during* a run and fails
+  fast with the offending event id.
 * :mod:`repro.check.explore` — the explorer: randomized, crash-storm,
   and bounded-systematic schedule search over a trial budget, fanned
   out across worker processes.
@@ -38,6 +42,13 @@ from .invariants import (
     TrialStats,
     invariants_for,
 )
+from .streaming import (
+    STREAMING_INVARIANTS,
+    StreamingChecker,
+    StreamingInvariant,
+    StreamingViolation,
+    streaming_invariants_for,
+)
 from .shrink import (
     ArtifactReplay,
     SchedulePrefixAdversary,
@@ -59,14 +70,19 @@ __all__ = [
     "MODES",
     "PROTOCOLS",
     "ProtocolSpec",
+    "STREAMING_INVARIANTS",
     "SchedulePrefixAdversary",
     "ShrinkResult",
+    "StreamingChecker",
+    "StreamingInvariant",
+    "StreamingViolation",
     "TrialOutcome",
     "TrialSpec",
     "TrialStats",
     "ViolationRecord",
     "explore",
     "invariants_for",
+    "streaming_invariants_for",
     "load_artifact",
     "plan_trials",
     "replay_artifact",

@@ -10,8 +10,12 @@ Examples::
     python -m repro bench  --exp e1 --workers 4 --baseline --out bench/
     python -m repro bench  --exp e2 --compare bench/BENCH_E2.json
     python -m repro trace  --n 16 --adversary sequential --seed 7 --out run.jsonl
+    python -m repro trace  --n 16 --out run.jsonl --snapshots live.jsonl
     python -m repro replay run.jsonl
     python -m repro report run.jsonl
+    python -m repro report run.jsonl --critical-path
+    python -m repro report run.jsonl --lineage 3
+    python -m repro watch  live.jsonl
     python -m repro check  --protocol leader_election --budget 200 --workers 4
     python -m repro check  --protocol naive_sifter --budget 200 --out-dir artifacts/
     python -m repro check  --replay artifacts/violation-....shrunk.json
@@ -150,6 +154,10 @@ def build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument(
         "--out", default="trace.jsonl", help="output trace path (JSONL)"
     )
+    trace_p.add_argument(
+        "--snapshots", default=None, metavar="OUT_JSONL",
+        help="also stream per-round metrics snapshots to this path",
+    )
 
     replay_p = sub.add_parser(
         "replay",
@@ -162,6 +170,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="print per-round survivor and message rollups of a recorded trace",
     )
     report_p.add_argument("trace", help="path of a recorded trace (JSONL)")
+    report_p.add_argument(
+        "--critical-path", action="store_true",
+        help="add per-decision critical-path depths (happens-before analysis)",
+    )
+    report_p.add_argument(
+        "--lineage", type=int, default=None, metavar="PID",
+        help="print the message chain behind this processor's state",
+    )
+
+    watch_p = sub.add_parser(
+        "watch",
+        help=(
+            "tail a live metrics snapshot stream (written by `repro net "
+            "--telemetry` or `repro trace --snapshots`) and render a "
+            "refreshing summary"
+        ),
+    )
+    watch_p.add_argument("snapshots", help="path of a snapshot stream (JSONL)")
+    watch_p.add_argument(
+        "--interval", type=float, default=0.2,
+        help="poll interval while following (seconds)",
+    )
+    watch_p.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="give up if the stream stops growing for this long (seconds)",
+    )
+    watch_p.add_argument(
+        "--no-follow", dest="follow", action="store_false", default=True,
+        help="render what is on disk now and exit (no tailing)",
+    )
+    watch_p.add_argument(
+        "--prometheus", action="store_true",
+        help="print the last snapshot in Prometheus text format and exit",
+    )
 
     from .check.explore import DEFAULT_ADVERSARIES, MODES
     from .check.invariants import INVARIANTS, PROTOCOLS
@@ -287,6 +329,18 @@ def build_parser() -> argparse.ArgumentParser:
     net_p.add_argument(
         "--trace", default=None, metavar="OUT_JSONL",
         help="merge all nodes' obs event streams into one JSONL trace",
+    )
+    net_p.add_argument(
+        "--telemetry", default=None, metavar="OUT_JSONL",
+        help=(
+            "stream merged cluster metrics snapshots (RPC latency "
+            "percentiles, retries, chaos counters) to this path; tail it "
+            "with `repro watch`"
+        ),
+    )
+    net_p.add_argument(
+        "--telemetry-interval", type=float, default=0.5,
+        help="seconds between per-node telemetry reports",
     )
     net_p.add_argument(
         "--timeout", type=float, default=120.0,
@@ -457,15 +511,34 @@ def _cmd_bench(args) -> int:
 def _cmd_trace(args) -> int:
     from .obs.replay import record_trace
 
-    recorded = record_trace(
-        args.out, task=args.task, n=args.n, k=args.k,
-        algorithm=args.algorithm, adversary=args.adversary,
-        seed=args.seed, pattern=args.pattern,
-    )
+    telemetry = None
+    if args.snapshots is not None:
+        from .obs.live import LiveTelemetry, SnapshotWriter
+
+        writer = SnapshotWriter(
+            args.snapshots,
+            meta={
+                "backend": "sim", "task": args.task, "n": args.n,
+                "k": args.k, "algorithm": args.algorithm,
+                "adversary": args.adversary, "seed": args.seed,
+            },
+        )
+        telemetry = LiveTelemetry(writer)
+    try:
+        recorded = record_trace(
+            args.out, task=args.task, n=args.n, k=args.k,
+            algorithm=args.algorithm, adversary=args.adversary,
+            seed=args.seed, pattern=args.pattern, telemetry=telemetry,
+        )
+    finally:
+        if telemetry is not None:
+            telemetry.close()
     print(f"trace:         {recorded.path}")
     print(f"task:          {recorded.meta['task']} "
           f"(algorithm={recorded.meta['algorithm']})")
     print(f"events:        {recorded.events:,}")
+    if args.snapshots is not None:
+        print(f"snapshots:     {args.snapshots}")
     return 0
 
 
@@ -486,10 +559,81 @@ def _cmd_report(args) -> int:
 
     try:
         aggregator = TraceAggregator.from_file(args.trace)
-    except (OSError, ValueError) as error:
+    except (OSError, ValueError, KeyError) as error:
         print(f"error: {error}")
         return 2
     print(aggregator.report(title=args.trace))
+    if args.critical_path or args.lineage is not None:
+        from .obs.causality import (
+            analyze_trace,
+            critical_path_report,
+            lineage_report,
+        )
+
+        try:
+            causal = analyze_trace(args.trace)
+        except (OSError, ValueError, KeyError) as error:
+            print(f"error: {error}")
+            return 2
+        if args.critical_path:
+            print()
+            print(critical_path_report(causal, title=args.trace))
+        if args.lineage is not None:
+            print()
+            print(lineage_report(causal, args.lineage))
+    return 0
+
+
+def _cmd_watch(args) -> int:
+    from .obs.live import (
+        follow_snapshots,
+        read_snapshots,
+        render_snapshot,
+        snapshot_to_prometheus,
+    )
+
+    if args.prometheus or not args.follow:
+        try:
+            meta, snapshots, ended = read_snapshots(args.snapshots)
+        except (OSError, ValueError, KeyError) as error:
+            print(f"error: {error}")
+            return 2
+        if not snapshots:
+            print(f"error: {args.snapshots}: no snapshots recorded yet")
+            return 2
+        last = snapshots[-1]
+        if args.prometheus:
+            print(snapshot_to_prometheus(last["metrics"]), end="")
+        else:
+            print(render_snapshot(last, meta=meta))
+            if not ended:
+                print("(stream still open — rerun without --no-follow to tail)")
+        return 0
+
+    ended = False
+    try:
+        for obj in follow_snapshots(
+            args.snapshots, poll_interval=args.interval, timeout=args.timeout
+        ):
+            if "meta" in obj:
+                continue
+            if "end" in obj:
+                ended = True
+                print(f"stream ended at clock={obj['end'].get('clock')}")
+                break
+            print(render_snapshot(obj))
+            print()
+    except (OSError, ValueError, KeyError) as error:
+        print(f"error: {error}")
+        return 2
+    except TimeoutError as error:
+        print(f"error: {error}")
+        return 2
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        return 130
+    if not ended:
+        print("warning: stream closed without an end marker (run interrupted?)")
+        return 1
     return 0
 
 
@@ -547,6 +691,8 @@ def _cmd_net(args) -> int:
             pattern=args.pattern, seed=args.seed, plan=plan,
             rpc_timeout_s=args.rpc_timeout, deadline_s=args.timeout,
             trace_path=args.trace, check=args.check,
+            telemetry_path=args.telemetry,
+            telemetry_interval_s=args.telemetry_interval,
         )
     except NetError as error:
         print(f"error: {error}")
@@ -573,6 +719,8 @@ def _cmd_net(args) -> int:
     print(f"wall:          {run.wall_s:.2f}s")
     if run.trace_path:
         print(f"trace:         {run.trace_path}")
+    if run.telemetry_path:
+        print(f"telemetry:     {run.telemetry_path}")
     if args.check:
         if run.ok:
             print("invariants:    all hold")
@@ -595,6 +743,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "trace": _cmd_trace,
         "replay": _cmd_replay,
         "report": _cmd_report,
+        "watch": _cmd_watch,
         "check": _cmd_check,
         "net": _cmd_net,
     }

@@ -64,6 +64,7 @@ def _build_simulation(
     sink=None,
     profiler=None,
     delta_propagation: bool = True,
+    telemetry=None,
 ) -> Simulation:
     scheduler = make_adversary(adversary, seed)
     if crash_schedule:
@@ -78,6 +79,7 @@ def _build_simulation(
         sink=sink,
         profiler=profiler,
         delta_propagation=delta_propagation,
+        telemetry=telemetry,
     )
 
 
@@ -139,6 +141,7 @@ def run_leader_election(
     sink=None,
     profiler=None,
     delta_propagation: bool = True,
+    telemetry=None,
 ) -> LeaderElectionRun:
     """Run one leader election to completion and check it.
 
@@ -147,7 +150,10 @@ def run_leader_election(
     stream (:mod:`repro.obs`) and ``profiler`` accumulates wall-clock
     spans; both default to off.  ``delta_propagation=False`` forces full
     PROPAGATE payloads — semantically identical, used by the equivalence
-    regression tests.
+    regression tests.  ``telemetry`` is a second sink slot for live
+    consumers (:class:`~repro.obs.metrics.MetricsSink`,
+    :class:`~repro.obs.live.LiveTelemetry`, or a
+    :class:`~repro.check.streaming.StreamingChecker`).
     """
     if algorithm == "poison_pill":
         factory = make_leader_elect()
@@ -165,6 +171,7 @@ def run_leader_election(
     sim = _build_simulation(
         n, factory, participants, adversary, seed, crash_schedule,
         record_events, max_events, sink, profiler, delta_propagation,
+        telemetry,
     )
     result = sim.run(require_termination=check and not crash_schedule)
     report = check_leader_election(result) if check else LeaderElectionReport(
@@ -217,6 +224,7 @@ def run_sifting_phase(
     sink=None,
     profiler=None,
     delta_propagation: bool = True,
+    telemetry=None,
 ) -> SiftingRun:
     """Run one sifting phase (PoisonPill / heterogeneous / naive)."""
     if kind == "poison_pill":
@@ -230,7 +238,7 @@ def run_sifting_phase(
     participants = choose_participants(n, k, pattern, seed)
     sim = _build_simulation(
         n, factory, participants, adversary, seed, None, record_events,
-        max_events, sink, profiler, delta_propagation,
+        max_events, sink, profiler, delta_propagation, telemetry,
     )
     result = sim.run()
     survivors = check_sifting_phase(result) if check else sum(
@@ -286,6 +294,7 @@ def run_renaming(
     sink=None,
     profiler=None,
     delta_propagation: bool = True,
+    telemetry=None,
 ) -> RenamingRun:
     """Run one renaming execution to completion and check it."""
     if algorithm == "paper":
@@ -302,6 +311,7 @@ def run_renaming(
     sim = _build_simulation(
         n, factory, participants, adversary, seed, crash_schedule,
         record_events, max_events, sink, profiler, delta_propagation,
+        telemetry,
     )
     result = sim.run(require_termination=check and not crash_schedule)
     names = check_renaming(result) if check else dict(result.outcomes)

@@ -44,6 +44,8 @@ from ..core.baselines import (
 from ..core.protocol import Outcome
 from ..harness.workloads import choose_participants
 from ..obs.jsonl import obj_to_event, read_trace, write_events
+from ..obs.live import SnapshotWriter
+from ..obs.metrics import merge_snapshots
 from ..sim.messages import MessageKind
 from ..sim.process import AlgorithmFactory
 from ..sim.runtime import Decision, SimulationResult
@@ -145,6 +147,7 @@ def _node_entry(config_json: str) -> None:
         plan=ChaosPlan.from_obj(config["plan"]),
         rpc_timeout_s=config["rpc_timeout_s"],
         trace_path=config["trace_path"],
+        telemetry_interval_s=config.get("telemetry_interval_s"),
     )
     asyncio.run(node.run())
 
@@ -174,6 +177,7 @@ class NetRun:
     violations: list[tuple[str, str]] = field(default_factory=list)
     node_stats: dict[int, dict[str, Any]] = field(default_factory=dict)
     trace_path: str | None = None
+    telemetry_path: str | None = None
     wall_s: float = 0.0
 
     @property
@@ -222,7 +226,12 @@ class NetRun:
 class _ControlPlane:
     """The driver's view of the run while it is in flight."""
 
-    def __init__(self, n: int, participants: Sequence[int]) -> None:
+    def __init__(
+        self,
+        n: int,
+        participants: Sequence[int],
+        snapshot_writer: SnapshotWriter | None = None,
+    ) -> None:
         import asyncio
 
         self.n = n
@@ -232,6 +241,9 @@ class _ControlPlane:
         self.decisions: dict[int, dict[str, Any]] = {}
         self.finals: dict[int, dict[str, Any]] = {}
         self.coins: dict[int, list] = {}
+        self.node_snapshots: dict[int, dict[str, Any]] = {}
+        self.snapshot_writer = snapshot_writer
+        self.started_at = time.monotonic()
         self.all_registered = asyncio.Event()
         self.all_decided = asyncio.Event()
         self.all_final = asyncio.Event()
@@ -256,6 +268,25 @@ class _ControlPlane:
         if len(self.finals) == self.n:
             self.all_final.set()
 
+    @property
+    def clock_ms(self) -> int:
+        """Milliseconds since the control plane came up."""
+        return int((time.monotonic() - self.started_at) * 1000)
+
+    def note_stats(self, pid: int, fields: Mapping[str, Any]) -> None:
+        """Fold one node's periodic telemetry RESULT into the cluster view.
+
+        Every stats frame refreshes that node's latest snapshot; the
+        merged cluster snapshot (counters summed, histogram buckets
+        combined across nodes) is appended to the live snapshot stream
+        that ``repro watch`` tails.
+        """
+        self.node_snapshots[pid] = dict(fields.get("snapshot", {}))
+        if self.snapshot_writer is not None:
+            self.snapshot_writer.write_snapshot(
+                self.clock_ms, merge_snapshots(self.node_snapshots.values())
+            )
+
 
 async def _orchestrate(
     n: int,
@@ -267,11 +298,13 @@ async def _orchestrate(
     rpc_timeout_s: float,
     deadline_s: float,
     trace_paths: Mapping[int, str] | None,
+    telemetry_interval_s: float | None = None,
+    snapshot_writer: SnapshotWriter | None = None,
 ) -> _ControlPlane:
     """The driver's async body: serve the control plane, spawn, collect."""
     import asyncio
 
-    plane = _ControlPlane(n, participants)
+    plane = _ControlPlane(n, participants, snapshot_writer=snapshot_writer)
 
     async def handle_node(reader, writer) -> None:
         pid = None
@@ -287,8 +320,14 @@ async def _orchestrate(
                     if len(plane.ports) == n:
                         plane.all_registered.set()
                 elif frame.ftype == FrameType.RESULT:
-                    if frame.fields.get("kind") == "decision":
+                    # Explicit kind dispatch: periodic "stats" frames must
+                    # not be mistaken for the final transport counters, or
+                    # the first telemetry tick would mark the node final.
+                    kind = frame.fields.get("kind")
+                    if kind == "decision":
                         plane.note_decision(frame.sender, frame.fields)
+                    elif kind == "stats":
+                        plane.note_stats(frame.sender, frame.fields)
                     else:
                         plane.note_final(frame.sender, frame.fields)
                 elif frame.ftype == FrameType.ERROR:
@@ -317,6 +356,7 @@ async def _orchestrate(
             "plan": plan.to_obj(),
             "rpc_timeout_s": rpc_timeout_s,
             "trace_path": trace_paths.get(pid) if trace_paths else None,
+            "telemetry_interval_s": telemetry_interval_s,
         }
         child = context.Process(
             target=_node_entry, args=(json.dumps(config),), name=f"repro-net-{pid}"
@@ -400,6 +440,8 @@ def run_net(
     deadline_s: float = DEFAULT_DEADLINE_S,
     trace_path: str | None = None,
     check: bool = True,
+    telemetry_path: str | None = None,
+    telemetry_interval_s: float = 1.0,
 ) -> NetRun:
     """Run one task over localhost sockets and check its invariants.
 
@@ -410,12 +452,26 @@ def run_net(
     :mod:`repro.check` run-invariants registered for the protocol; the
     violations land in :attr:`NetRun.violations` (never raised, so
     callers can inspect the failing run).
+
+    With ``telemetry_path`` set, every node reports a metrics snapshot
+    (per-RPC latency histogram, retry counts, chaos drop/delay counters)
+    to the driver every ``telemetry_interval_s`` seconds; the driver
+    merges them into a cluster-wide snapshot stream at that path, which
+    ``repro watch`` can tail while the run is still in flight.
     """
     import asyncio
 
     algorithm, _ = resolve_factory(task, algorithm)
     participants = choose_participants(n, k, pattern, seed)
     plan = plan if plan is not None else CLEAN_PLAN
+
+    snapshot_writer: SnapshotWriter | None = None
+    if telemetry_path is not None:
+        snapshot_writer = SnapshotWriter(telemetry_path, meta={
+            "backend": "net", "task": task, "algorithm": algorithm,
+            "n": n, "k": len(participants), "seed": seed,
+            "interval_s": telemetry_interval_s,
+        })
 
     trace_paths: dict[int, str] | None = None
     trace_dir = None
@@ -431,12 +487,27 @@ def run_net(
         plane = asyncio.run(_orchestrate(
             n, participants, seed, task, algorithm, plan,
             rpc_timeout_s, deadline_s, trace_paths,
+            telemetry_interval_s if telemetry_path is not None else None,
+            snapshot_writer,
         ))
     except NetError:
         if trace_dir is not None:
             trace_dir.cleanup()
+        if snapshot_writer is not None:
+            # No end marker: a tailing `repro watch` should report the
+            # stream as interrupted rather than complete.
+            snapshot_writer.close()
         raise
     wall_s = time.perf_counter() - wall_start
+    if snapshot_writer is not None:
+        # Final cluster snapshot from the latest per-node reports, then
+        # the end marker so watchers terminate cleanly.
+        if plane.node_snapshots:
+            snapshot_writer.write_snapshot(
+                plane.clock_ms, merge_snapshots(plane.node_snapshots.values())
+            )
+        snapshot_writer.write_end(plane.clock_ms)
+        snapshot_writer.close()
 
     result = _assemble_result(n, plane)
     events = None
@@ -457,6 +528,7 @@ def run_net(
         result=result,
         node_stats={pid: dict(fields) for pid, fields in plane.finals.items()},
         trace_path=trace_path,
+        telemetry_path=telemetry_path,
         wall_s=wall_s,
     )
     if check:

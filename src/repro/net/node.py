@@ -37,6 +37,7 @@ from typing import Any, Mapping
 
 from ..obs.events import Event, EventType
 from ..obs.jsonl import JsonlSink
+from ..obs.metrics import MetricsRegistry
 from ..sim.communicate import Collect, Propagate
 from ..sim.process import AlgorithmFactory, Process
 from ..sim.rng import make_stream
@@ -224,6 +225,7 @@ class NodeRuntime:
         plan: ChaosPlan = CLEAN_PLAN,
         rpc_timeout_s: float = DEFAULT_RPC_TIMEOUT_S,
         trace_path: str | None = None,
+        telemetry_interval_s: float | None = None,
     ) -> None:
         self.pid = pid
         self.n = n
@@ -246,6 +248,15 @@ class NodeRuntime:
         if self._sink is not None:
             self.process.obs = self._emit
             self.process.put_hook = self._put_hook
+        # Live telemetry: a registry of wall-clock instruments (per-RPC
+        # latency, retry counts, chaos drops/delays) reported to the
+        # driver as periodic RESULT kind="stats" frames.  None when the
+        # run was launched without --telemetry: the hot paths then pay
+        # only an ``is None`` check, like the simulator's sink guard.
+        self._telemetry_interval_s = telemetry_interval_s
+        self._telemetry: MetricsRegistry | None = (
+            MetricsRegistry() if telemetry_interval_s is not None else None
+        )
 
     # ------------------------------------------------------------------
     # Observability
@@ -261,6 +272,43 @@ class NodeRuntime:
 
     def _put_hook(self, var, key, value) -> None:
         self._emit(EventType.REG_PUT, {"var": var, "key": key, "value": repr(value)})
+
+    def telemetry_snapshot(self) -> dict[str, Any]:
+        """The node's current metrics snapshot (telemetry must be on).
+
+        Folds the transport counters of :class:`NodeStats` into the
+        registry (as ``net.*`` counters) next to the live per-RPC latency
+        histogram, so one snapshot carries everything the driver merges
+        into the cluster view.
+        """
+        assert self._telemetry is not None
+        registry = self._telemetry
+        stats = self.stats
+        registry.counter("net.frames_sent").value = stats.frames_sent
+        registry.counter("net.frames_received").value = stats.frames_received
+        registry.counter("net.frames_dropped").value = stats.frames_dropped
+        registry.counter("net.frames_delayed").value = stats.frames_delayed
+        registry.counter("net.frames_duplicated").value = stats.frames_duplicated
+        registry.counter("net.rpc_retries").value = stats.rpc_retries
+        for kind, count in stats.frames_by_kind.items():
+            registry.counter(f"net.frames.{kind}").value = count
+        registry.gauge("net.comm_calls").set(self.process.comm_calls)
+        return registry.snapshot()
+
+    async def _telemetry_loop(self, writer: "asyncio.StreamWriter") -> None:
+        """Report a stats snapshot to the driver every telemetry interval."""
+        assert self._telemetry_interval_s is not None
+        try:
+            while not self._closing:
+                await asyncio.sleep(self._telemetry_interval_s)
+                if self._closing:
+                    return
+                await write_frame(writer, Frame(
+                    FrameType.RESULT, self.pid,
+                    {"kind": "stats", "snapshot": self.telemetry_snapshot()},
+                ))
+        except (OSError, ConnectionError, asyncio.CancelledError):
+            pass
 
     # ------------------------------------------------------------------
     # Chaos-aware sending
@@ -440,6 +488,7 @@ class NodeRuntime:
         while not self._closing:
             self._rpc_counter += 1
             rpc = self._rpc_counter
+            issued = time.perf_counter()
             try:
                 reply = await asyncio.wait_for(
                     peer.call(ftype, fields, rpc), timeout=self.rpc_timeout_s
@@ -455,6 +504,10 @@ class NodeRuntime:
                 )
                 attempt += 1
                 continue
+            if self._telemetry is not None:
+                self._telemetry.histogram("net.rpc_latency_ms").observe(
+                    (time.perf_counter() - issued) * 1e3
+                )
             view = None
             if reply.ftype == FrameType.COLLECT_REPLY:
                 view = {
@@ -511,6 +564,10 @@ class NodeRuntime:
             for pid, peer_port in ports.items():
                 if pid != self.pid:
                     self._peers[pid] = PeerClient(self, pid, peer_port)
+            stats_task: asyncio.Task | None = None
+            if self._telemetry is not None:
+                stats_task = asyncio.create_task(self._telemetry_loop(writer))
+                self._track(stats_task)
             if self.process.is_participant:
                 try:
                     result, start_ns, decide_ns = await self._run_protocol()
@@ -532,6 +589,17 @@ class NodeRuntime:
             if shutdown is not None and shutdown.ftype != FrameType.SHUTDOWN:
                 raise WireError(f"expected SHUTDOWN from driver, got {shutdown!r}")
             self._closing = True
+            if stats_task is not None:
+                # Stop periodic stats before the final RESULT so the
+                # driver's control stream ends on the final frame.
+                stats_task.cancel()
+            if self._telemetry is not None:
+                # One last stats report: a run faster than the interval
+                # would otherwise leave the snapshot stream empty.
+                await write_frame(writer, Frame(
+                    FrameType.RESULT, self.pid,
+                    {"kind": "stats", "snapshot": self.telemetry_snapshot()},
+                ))
             await write_frame(writer, Frame(
                 FrameType.RESULT, self.pid,
                 {"kind": "final",

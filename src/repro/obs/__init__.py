@@ -10,6 +10,13 @@ consumers:
 * :mod:`repro.obs.jsonl`     — byte-stable JSONL export/import;
 * :mod:`repro.obs.aggregate` — streaming per-round survivor curves,
   message histograms, and communicate-call statistics;
+* :mod:`repro.obs.metrics`   — live metrics registry: counters, gauges,
+  log-bucketed histograms with p50/p90/p99, registry merge, and
+  Prometheus-style exposition;
+* :mod:`repro.obs.live`      — periodic snapshot streaming (JSONL) for
+  in-flight telemetry, tailable by ``repro watch``;
+* :mod:`repro.obs.causality` — happens-before reconstruction, critical-
+  path depth per decision, and message lineage;
 * :mod:`repro.obs.replay`    — deterministic re-execution of a recorded
   schedule with byte-identical stream verification;
 * :mod:`repro.obs.profile`   — wall-clock span profiling of the runtime
@@ -23,6 +30,14 @@ this package from below.
 from __future__ import annotations
 
 from .aggregate import PhaseStats, RoundStats, TraceAggregator, aggregate_events
+from .causality import (
+    CausalReport,
+    MessageHop,
+    analyze_events,
+    analyze_trace,
+    critical_path_report,
+    lineage_report,
+)
 from .events import (
     CallbackSink,
     Event,
@@ -42,6 +57,22 @@ from .jsonl import (
     read_events,
     read_trace,
     write_events,
+)
+from .live import (
+    LiveTelemetry,
+    SnapshotWriter,
+    follow_snapshots,
+    read_snapshots,
+    render_snapshot,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSink,
+    merge_snapshots,
+    snapshot_to_prometheus,
 )
 from .profile import Profiler, SpanStats
 
@@ -69,11 +100,19 @@ def __getattr__(name: str):
 
 __all__ = [
     "CallbackSink",
+    "CausalReport",
+    "Counter",
     "Event",
     "EventSink",
     "EventType",
+    "Gauge",
+    "Histogram",
     "JsonlSink",
     "ListSink",
+    "LiveTelemetry",
+    "MessageHop",
+    "MetricsRegistry",
+    "MetricsSink",
     "MultiSink",
     "PhaseStats",
     "Profiler",
@@ -85,17 +124,27 @@ __all__ = [
     "RoundStats",
     "SCHEDULE_EVENT_TYPES",
     "ScriptedAdversary",
+    "SnapshotWriter",
     "SpanStats",
     "TRACE_FORMAT_VERSION",
     "TraceAggregator",
     "aggregate_events",
+    "analyze_events",
+    "analyze_trace",
     "combine_sinks",
+    "critical_path_report",
     "event_line",
     "extract_schedule",
+    "follow_snapshots",
     "json_safe",
+    "lineage_report",
+    "merge_snapshots",
     "read_events",
+    "read_snapshots",
     "read_trace",
     "record_trace",
+    "render_snapshot",
     "replay_trace",
+    "snapshot_to_prometheus",
     "write_events",
 ]

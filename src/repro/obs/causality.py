@@ -1,0 +1,258 @@
+"""Happens-before reconstruction and message-lineage analysis of traces.
+
+The paper measures time in ``communicate`` quorums, but the *reason* a
+schedule is slow or fast lives one level deeper: the longest chain of
+causally-ordered messages any decision depends on.  This module rebuilds
+the happens-before relation of a recorded (or in-memory) event stream —
+program order within each processor, plus a send→deliver edge for every
+matched message — and reduces it to the two quantities the algorithm
+shootout needs:
+
+* **critical-path depth** per decision: the length, in messages, of the
+  longest causal chain ending at that processor's decide event.  A
+  tournament's winner sits at depth Θ(log n · quorum-round-trips); the
+  paper's election should beat it — now measurable per run.
+* **lineage** per processor: the actual chain of message hops behind
+  its current state, oldest first — the "why did p7 decide that"
+  debugging view, surfaced as ``repro report --lineage 7``.
+
+Send and deliver events are matched FIFO per ``(src, dst, kind, call)``
+channel, which is exact for the simulator (per-call messages are
+delivered at most once) and degrades gracefully on net traces where
+chaos duplication can replay a frame: a duplicate deliver with no
+waiting send is counted in :attr:`CausalReport.unmatched_delivers`
+rather than corrupting depths.
+
+The analysis is a single forward pass, O(events) time and O(pids +
+in-flight messages) state, so it handles arbitrarily long streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from .events import Event, EventType
+
+__all__ = [
+    "CausalReport",
+    "MessageHop",
+    "analyze_events",
+    "analyze_trace",
+    "critical_path_report",
+    "lineage_report",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class MessageHop:
+    """One send→deliver edge on a causal chain.
+
+    ``depth`` is the hop's position on its chain (1-based: the first
+    message ever to influence a processor is depth 1).  ``parent`` links
+    to the previous hop on the same chain, forming the lineage spine.
+    """
+
+    src: int
+    dst: int
+    kind: str
+    call: int
+    send_index: int
+    send_time: int
+    deliver_index: int
+    deliver_time: int
+    depth: int
+    parent: "MessageHop | None" = field(repr=False, default=None)
+
+
+@dataclass(slots=True)
+class _PendingSend:
+    """A sent-but-not-yet-delivered message: its causal context at send."""
+
+    send_index: int
+    send_time: int
+    sender_depth: int
+    sender_hop: MessageHop | None
+
+
+class CausalReport:
+    """The result of a happens-before pass over one event stream."""
+
+    __slots__ = (
+        "depth_by_pid",
+        "last_hop_by_pid",
+        "decision_depths",
+        "decision_hops",
+        "decide_times",
+        "events_seen",
+        "matched_messages",
+        "unmatched_delivers",
+    )
+
+    def __init__(self) -> None:
+        #: Current causal message-depth of each processor's state.
+        self.depth_by_pid: dict[int, int] = {}
+        #: Deepest hop currently influencing each processor.
+        self.last_hop_by_pid: dict[int, MessageHop | None] = {}
+        #: Critical-path depth (in messages) at each decide event.
+        self.decision_depths: dict[int, int] = {}
+        #: The hop terminating each decision's critical path.
+        self.decision_hops: dict[int, MessageHop | None] = {}
+        #: Logical decide time per pid.
+        self.decide_times: dict[int, int] = {}
+        self.events_seen = 0
+        self.matched_messages = 0
+        self.unmatched_delivers = 0
+
+    @property
+    def max_decision_depth(self) -> int:
+        """The deepest critical path over all decisions (0 when none)."""
+        return max(self.decision_depths.values(), default=0)
+
+    def lineage(self, pid: int) -> list[MessageHop]:
+        """The message chain behind ``pid``'s state, oldest hop first.
+
+        Uses the decision-time hop when ``pid`` decided, else the live
+        one; empty when no message ever influenced the processor.
+        """
+        hop = self.decision_hops.get(pid, self.last_hop_by_pid.get(pid))
+        chain: list[MessageHop] = []
+        while hop is not None:
+            chain.append(hop)
+            hop = hop.parent
+        chain.reverse()
+        return chain
+
+
+def analyze_events(events: Iterable[Event]) -> CausalReport:
+    """Single forward pass: rebuild happens-before, track chain depths.
+
+    Per processor, ``depth_by_pid`` holds the length of the longest
+    message chain that happens-before its current state.  A send stamps
+    the message with the sender's depth; the matching deliver extends
+    the chain by one hop and raises the recipient's depth if the new
+    chain is longer.  ``proc.decide`` freezes the recipient's depth as
+    that decision's critical path.
+    """
+    report = CausalReport()
+    pending: dict[tuple[int, int, str, int], list[_PendingSend]] = {}
+    depth = report.depth_by_pid
+    last_hop = report.last_hop_by_pid
+    for index, event in enumerate(events):
+        report.events_seen += 1
+        etype = event.etype
+        if etype == EventType.MSG_SEND:
+            fields = event.fields
+            src = fields["src"]
+            key = (src, fields["dst"], fields["kind"], fields.get("call", 0))
+            pending.setdefault(key, []).append(_PendingSend(
+                send_index=index,
+                send_time=event.time,
+                sender_depth=depth.get(src, 0),
+                sender_hop=last_hop.get(src),
+            ))
+        elif etype == EventType.MSG_DELIVER:
+            fields = event.fields
+            src = fields["src"]
+            dst = fields["dst"]
+            key = (src, dst, fields["kind"], fields.get("call", 0))
+            queue = pending.get(key)
+            if not queue:
+                # Net chaos can duplicate a frame: the second delivery has
+                # no waiting send.  Count it; the first matched delivery
+                # already carried the causal edge.
+                report.unmatched_delivers += 1
+                continue
+            send = queue.pop(0)
+            if not queue:
+                del pending[key]
+            report.matched_messages += 1
+            hop_depth = send.sender_depth + 1
+            if hop_depth > depth.get(dst, 0):
+                hop = MessageHop(
+                    src=src,
+                    dst=dst,
+                    kind=fields["kind"],
+                    call=fields.get("call", 0),
+                    send_index=send.send_index,
+                    send_time=send.send_time,
+                    deliver_index=index,
+                    deliver_time=event.time,
+                    depth=hop_depth,
+                    parent=send.sender_hop,
+                )
+                depth[dst] = hop_depth
+                last_hop[dst] = hop
+        elif etype == EventType.PROC_DECIDE:
+            pid = event.pid
+            report.decision_depths[pid] = depth.get(pid, 0)
+            report.decision_hops[pid] = last_hop.get(pid)
+            report.decide_times[pid] = event.time
+    return report
+
+
+def analyze_trace(path: str) -> CausalReport:
+    """Happens-before analysis of a recorded JSONL trace file."""
+    from .jsonl import read_events
+
+    return analyze_events(read_events(path))
+
+
+def _outcome_label(outcome: Any) -> str:
+    return str(getattr(outcome, "value", outcome))
+
+
+def critical_path_report(
+    report: CausalReport,
+    outcomes: Mapping[int, Any] | None = None,
+    title: str = "critical paths",
+) -> str:
+    """Render per-decision critical-path depths as a table.
+
+    ``outcomes`` (pid → decided value), when given, adds an outcome
+    column so depth can be compared between winners and losers.
+    """
+    from ..harness.tables import Table
+
+    headers = ["pid", "depth (msgs)", "decided at"]
+    if outcomes is not None:
+        headers.append("outcome")
+    table = Table(title, headers)
+    for pid in sorted(report.decision_depths):
+        row: list[Any] = [
+            pid,
+            report.decision_depths[pid],
+            report.decide_times.get(pid, 0),
+        ]
+        if outcomes is not None:
+            row.append(_outcome_label(outcomes.get(pid, "?")))
+        table.add_row(*row)
+    table.add_note(
+        f"max depth {report.max_decision_depth}; "
+        f"{report.matched_messages:,} matched messages, "
+        f"{report.unmatched_delivers} unmatched delivers"
+    )
+    return table.render()
+
+
+def lineage_report(report: CausalReport, pid: int) -> str:
+    """Render the message lineage behind ``pid``'s state as a table."""
+    from ..harness.tables import Table
+
+    chain = report.lineage(pid)
+    table = Table(
+        f"message lineage of p{pid}",
+        ["hop", "src", "dst", "kind", "call", "sent t", "delivered t"],
+    )
+    for hop in chain:
+        table.add_row(
+            hop.depth, hop.src, hop.dst, hop.kind, hop.call,
+            hop.send_time, hop.deliver_time,
+        )
+    if not chain:
+        table.add_note("no message ever influenced this processor")
+    else:
+        depth = report.decision_depths.get(pid)
+        if depth is not None:
+            table.add_note(f"decision critical-path depth {depth} messages")
+    return table.render()

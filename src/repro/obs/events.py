@@ -158,15 +158,19 @@ class RingBufferSink:
 
     Useful as an always-on flight recorder: attach it to long benchmark
     runs and inspect the tail after an anomaly without paying unbounded
-    memory growth.
+    memory growth.  Evictions are counted in :attr:`dropped` so bounded
+    telemetry loss is visible rather than silent; live snapshot streams
+    surface the count as the ``obs.ring_dropped`` counter.
     """
 
-    __slots__ = ("_buffer",)
+    __slots__ = ("_buffer", "dropped")
 
     def __init__(self, capacity: int = 4096) -> None:
         if capacity < 1:
             raise ValueError("ring buffer capacity must be at least 1")
         self._buffer: deque[Event] = deque(maxlen=capacity)
+        #: Number of events evicted (lost) since creation.
+        self.dropped = 0
 
     @property
     def capacity(self) -> int:
@@ -174,8 +178,11 @@ class RingBufferSink:
         return self._buffer.maxlen or 0
 
     def emit(self, event: Event) -> None:
-        """Append the event, evicting the oldest past capacity."""
-        self._buffer.append(event)
+        """Append the event, evicting (and counting) the oldest past capacity."""
+        buffer = self._buffer
+        if len(buffer) == buffer.maxlen:
+            self.dropped += 1
+        buffer.append(event)
 
     def close(self) -> None:
         """No-op: the retained window stays readable."""

@@ -162,6 +162,7 @@ def _run_task(
     adversary: str | Adversary,
     sink,
     check: bool = True,
+    telemetry=None,
 ):
     """Run the task a meta header describes, with the given adversary."""
     from ..harness.runners import (
@@ -178,6 +179,7 @@ def _run_task(
         seed=meta["seed"],
         pattern=meta.get("pattern", "first"),
         sink=sink,
+        telemetry=telemetry,
     )
     if task == "elect":
         return run_leader_election(algorithm=meta["algorithm"], check=check, **common)
@@ -202,11 +204,14 @@ def record_trace(
     adversary: str = "random",
     seed: int = 0,
     pattern: str = "first",
+    telemetry=None,
 ) -> RecordedTrace:
     """Run one task and record its full event stream to ``path``.
 
     ``adversary`` must be a registry name (not an instance) so the meta
-    header alone suffices to describe the run.
+    header alone suffices to describe the run.  ``telemetry`` is an
+    optional second sink (e.g. :class:`~repro.obs.live.LiveTelemetry`)
+    that sees the same stream; the caller owns closing it.
     """
     if task not in TRACEABLE_TASKS:
         raise ReplayError(f"unknown task {task!r}; traceable tasks: {TRACEABLE_TASKS}")
@@ -222,7 +227,7 @@ def record_trace(
     }
     sink = JsonlSink(path, meta=meta)
     try:
-        run = _run_task(meta, adversary, sink)
+        run = _run_task(meta, adversary, sink, telemetry=telemetry)
     finally:
         events = sink.line_count - 1  # meta header excluded
         sink.close()

@@ -139,6 +139,7 @@ class Simulation:
         sink: "EventSink | None" = None,
         profiler: "Profiler | None" = None,
         delta_propagation: bool = True,
+        telemetry: "EventSink | None" = None,
     ) -> None:
         if n < 1:
             raise ValueError("need at least one processor")
@@ -176,13 +177,18 @@ class Simulation:
         self.profiler = profiler
         # The structured event stream (repro.obs).  ``record_events`` keeps
         # the legacy Trace populated through an adapter sink; an explicit
-        # ``sink`` receives the full typed stream.  When both are absent
-        # every emission site below reduces to one ``is None`` check.
+        # ``sink`` receives the full typed stream; ``telemetry`` is a
+        # second sink slot for live consumers (a MetricsSink,
+        # LiveTelemetry, or StreamingChecker) so callers can record a
+        # trace and watch it at the same time.  When all are absent every
+        # emission site below reduces to one ``is None`` check.
         sinks: list = []
         if record_events:
             sinks.append(TraceAdapterSink(self.trace))
         if sink is not None:
             sinks.append(sink)
+        if telemetry is not None:
+            sinks.append(telemetry)
         self._obs = combine_sinks(sinks)
         self.clock = 0
         self.max_events = max_events if max_events is not None else 100_000 + 1_000 * n * n

@@ -126,3 +126,95 @@ class TestCommands:
         assert main(["bench", "--exp", "e1", "--repeats", "1",
                      "--workers", "2", "--check-serial"]) == 0
         assert "identical" in capsys.readouterr().out
+
+
+class TestObservabilityVerbs:
+    """trace/report/watch plumbing, including the clean-error satellite."""
+
+    def _record(self, tmp_path, snapshots=False):
+        """Record a small election trace (optionally with live snapshots)."""
+        trace = str(tmp_path / "run.jsonl")
+        argv = ["trace", "--n", "8", "--adversary", "sequential",
+                "--seed", "2", "--out", trace]
+        stream = None
+        if snapshots:
+            stream = str(tmp_path / "live.jsonl")
+            argv += ["--snapshots", stream]
+        assert main(argv) == 0
+        return trace, stream
+
+    def test_trace_with_snapshots_writes_both_files(self, capsys, tmp_path):
+        trace, stream = self._record(tmp_path, snapshots=True)
+        out = capsys.readouterr().out
+        assert "snapshots:" in out
+        from repro.obs.live import read_snapshots
+
+        _, snapshots, end = read_snapshots(stream)
+        assert snapshots and end is not None
+
+    def test_report_critical_path_and_lineage(self, capsys, tmp_path):
+        trace, _ = self._record(tmp_path)
+        capsys.readouterr()
+        assert main(["report", trace, "--critical-path", "--lineage", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "critical paths" in out or "depth (msgs)" in out
+        assert "message lineage of p0" in out
+
+    def test_report_missing_file_is_clean_one_liner(self, capsys):
+        assert main(["report", "/nonexistent/run.jsonl"]) == 2
+        out = capsys.readouterr().out
+        assert out.startswith("error:")
+        assert "Traceback" not in out
+
+    def test_report_truncated_jsonl_is_clean_one_liner(self, capsys, tmp_path):
+        # Satellite regression: a producer killed mid-write leaves a
+        # trailing partial line; report must not dump a traceback.
+        trace, _ = self._record(tmp_path)
+        text = open(trace, encoding="utf-8").read()
+        truncated = str(tmp_path / "truncated.jsonl")
+        with open(truncated, "w", encoding="utf-8") as fp:
+            fp.write(text[: int(len(text) * 0.6)])
+        capsys.readouterr()
+        assert main(["report", truncated]) == 2
+        out = capsys.readouterr().out
+        assert out.startswith("error:")
+        assert "Traceback" not in out
+
+    def test_watch_no_follow_renders_last_snapshot(self, capsys, tmp_path):
+        _, stream = self._record(tmp_path, snapshots=True)
+        capsys.readouterr()
+        assert main(["watch", stream, "--no-follow"]) == 0
+        out = capsys.readouterr().out
+        assert "snapshot #" in out
+
+    def test_watch_follow_terminates_on_end_marker(self, capsys, tmp_path):
+        _, stream = self._record(tmp_path, snapshots=True)
+        capsys.readouterr()
+        assert main(["watch", stream, "--interval", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "stream ended" in out
+
+    def test_watch_prometheus_output(self, capsys, tmp_path):
+        _, stream = self._record(tmp_path, snapshots=True)
+        capsys.readouterr()
+        assert main(["watch", stream, "--prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_" in out
+
+    def test_watch_missing_file_is_clean_one_liner(self, capsys):
+        assert main(["watch", "/nonexistent/live.jsonl", "--no-follow"]) == 2
+        out = capsys.readouterr().out
+        assert out.startswith("error:")
+        assert "Traceback" not in out
+
+    def test_watch_truncated_stream_is_clean_one_liner(self, capsys, tmp_path):
+        _, stream = self._record(tmp_path, snapshots=True)
+        text = open(stream, encoding="utf-8").read()
+        truncated = str(tmp_path / "cut.jsonl")
+        with open(truncated, "w", encoding="utf-8") as fp:
+            fp.write(text[: int(len(text) * 0.6)])
+        capsys.readouterr()
+        assert main(["watch", truncated, "--no-follow"]) == 2
+        out = capsys.readouterr().out
+        assert out.startswith("error:")
+        assert "Traceback" not in out

@@ -1,0 +1,82 @@
+"""Net telemetry tests: node snapshots, the cluster stream, zero-cost off.
+
+The node-side registry only exists when a telemetry interval is set (the
+hot paths must pay nothing when ``--telemetry`` is absent), and one real
+socket run verifies the whole chain: per-node stats frames, the driver's
+merged cluster snapshots, the end marker, and frame counts that agree
+with the run's own transport totals.
+"""
+
+from __future__ import annotations
+
+from repro.net.chaos import ChaosPlan
+from repro.net.driver import run_net
+from repro.net.node import NodeRuntime
+from repro.obs.live import read_snapshots
+
+
+def _bare_node(telemetry_interval_s):
+    """A NodeRuntime constructed but never run (unit-level access)."""
+    return NodeRuntime(
+        pid=0, n=2, seed=1, driver_port=1, factory=None,
+        plan=ChaosPlan(seed=0), rpc_timeout_s=1.0,
+        telemetry_interval_s=telemetry_interval_s,
+    )
+
+
+class TestNodeSide:
+    def test_registry_absent_when_telemetry_off(self):
+        # Zero-cost-off discipline: no interval, no registry, so the RPC
+        # hot path's guard short-circuits on an attribute that is None.
+        assert _bare_node(None)._telemetry is None
+        assert _bare_node(0.5)._telemetry is not None
+
+    def test_snapshot_folds_transport_counters(self):
+        node = _bare_node(0.5)
+        node.stats.frames_sent = 7
+        node.stats.frames_dropped = 2
+        node.stats.rpc_retries = 3
+        node.stats.frames_by_kind["collect"] = 7
+        snapshot = node.telemetry_snapshot()
+        counters = snapshot["counters"]
+        assert counters["net.frames_sent"] == 7
+        assert counters["net.frames_dropped"] == 2
+        assert counters["net.rpc_retries"] == 3
+        assert counters["net.frames.collect"] == 7
+
+    def test_snapshot_is_idempotent(self):
+        # Counters are set (not incremented) from NodeStats, so repeated
+        # periodic reports never double-count.
+        node = _bare_node(0.5)
+        node.stats.frames_sent = 7
+        first = node.telemetry_snapshot()
+        second = node.telemetry_snapshot()
+        assert first == second
+
+
+class TestClusterStream:
+    def test_net_run_writes_complete_merged_stream(self, tmp_path):
+        path = str(tmp_path / "telemetry.jsonl")
+        run = run_net(
+            task="elect", n=4, seed=0,
+            telemetry_path=path, telemetry_interval_s=0.2,
+        )
+        assert run.ok, run.violations
+        assert run.telemetry_path == path
+        meta, snapshots, end = read_snapshots(path)
+        assert meta["backend"] == "net" and meta["n"] == 4
+        # Every node reports at least once (a final stats frame is sent
+        # at shutdown even when the run beats the interval), and the
+        # driver appends one merged cluster snapshot before the end
+        # marker.
+        assert len(snapshots) >= 2
+        assert end is not None and end["snapshots"] == len(snapshots)
+        merged = snapshots[-1]["metrics"]
+        assert merged["counters"]["net.frames_sent"] == run.frames_sent
+        assert "net.rpc_latency_ms" in merged["histograms"]
+        assert merged["histograms"]["net.rpc_latency_ms"]["count"] > 0
+
+    def test_no_stream_written_when_telemetry_off(self, tmp_path):
+        run = run_net(task="elect", n=4, seed=0)
+        assert run.telemetry_path is None
+        assert list(tmp_path.iterdir()) == []

@@ -1,0 +1,111 @@
+"""Direct coverage for ``Metrics.merge`` under delta propagation.
+
+Sweep workers merge per-run ``Metrics`` accumulators, and delta mode is
+the default — so merged counters from delta-mode runs must be
+indistinguishable from full-mode ones (logical accounting), while the
+*physical* savings stay quarantined in ``Simulation.delta_stats`` and
+never leak into a merge.  Previously this was only exercised indirectly
+through sweep outputs; these tests pin it at the unit level.
+"""
+
+from __future__ import annotations
+
+from repro.adversary import RandomAdversary
+from repro.core import make_get_name
+from repro.sim.messages import MessageKind
+from repro.sim.runtime import Simulation
+from repro.sim.trace import Metrics
+
+
+def _run_simulation(n: int, seed: int, delta: bool) -> Simulation:
+    """One completed renaming run with delta propagation on or off."""
+    factory = make_get_name()
+    sim = Simulation(
+        n=n,
+        participants={pid: factory for pid in range(n)},
+        adversary=RandomAdversary(seed=seed),
+        seed=seed,
+        delta_propagation=delta,
+    )
+    sim.run()
+    return sim
+
+
+class TestMergeAcrossDeltaModes:
+    """Merged logical counters are mode-blind; physical stats are not."""
+
+    def test_merge_of_delta_runs_equals_merge_of_full_runs(self):
+        seeds = (3, 4)
+        merged = {}
+        for delta in (False, True):
+            accumulator = Metrics(0)
+            for seed in seeds:
+                accumulator.merge(_run_simulation(8, seed, delta).metrics)
+            merged[delta] = accumulator.summary()
+        assert merged[True] == merged[False]
+
+    def test_merge_sums_every_counter(self):
+        sims = [_run_simulation(8, seed, delta=True) for seed in (3, 4)]
+        accumulator = Metrics(0)
+        for sim in sims:
+            accumulator.merge(sim.metrics)
+        assert accumulator.messages_total == sum(
+            sim.metrics.messages_total for sim in sims
+        )
+        assert accumulator.payload_cells == sum(
+            sim.metrics.payload_cells for sim in sims
+        )
+        for kind in MessageKind:
+            assert accumulator.messages_by_kind[kind] == sum(
+                sim.metrics.messages_by_kind[kind] for sim in sims
+            )
+        for pid in range(8):
+            assert accumulator.comm_calls_by[pid] == sum(
+                sim.metrics.comm_calls_by[pid] for sim in sims
+            )
+
+    def test_merge_pads_across_system_sizes(self):
+        small = _run_simulation(4, 2, delta=True)
+        large = _run_simulation(8, 2, delta=True)
+        accumulator = Metrics(0)
+        accumulator.merge(small.metrics).merge(large.metrics)
+        assert len(accumulator.messages_sent_by) == 8
+        assert len(accumulator.comm_calls_by) == 8
+        for pid in range(4, 8):
+            assert (
+                accumulator.messages_sent_by[pid]
+                == large.metrics.messages_sent_by[pid]
+            )
+
+    def test_merge_returns_self_for_chaining(self):
+        accumulator = Metrics(0)
+        assert accumulator.merge(Metrics(0)) is accumulator
+
+
+class TestDeltaStatsStayPhysical:
+    """delta_stats reports savings without touching logical metrics."""
+
+    def test_delta_run_suppresses_but_reports_full_logical_cells(self):
+        full = _run_simulation(8, 5, delta=False)
+        delta = _run_simulation(8, 5, delta=True)
+        assert delta.metrics.summary() == full.metrics.summary()
+        assert delta.delta_stats["cells_suppressed"] > 0
+        assert full.delta_stats == {
+            "full_payloads": 0,
+            "delta_payloads": 0,
+            "empty_payloads": 0,
+            "cells_suppressed": 0,
+        }
+
+    def test_merged_metrics_never_see_physical_savings(self):
+        # payload_cells after a merge of delta runs equals the logical
+        # sum; the suppressed cells live only in each sim's delta_stats.
+        sims = [_run_simulation(8, seed, delta=True) for seed in (5, 6)]
+        accumulator = Metrics(0)
+        for sim in sims:
+            accumulator.merge(sim.metrics)
+        suppressed = sum(sim.delta_stats["cells_suppressed"] for sim in sims)
+        assert suppressed > 0
+        assert accumulator.payload_cells == sum(
+            sim.metrics.payload_cells for sim in sims
+        )
