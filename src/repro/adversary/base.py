@@ -20,7 +20,7 @@ from __future__ import annotations
 import abc
 from typing import TYPE_CHECKING
 
-from ..sim.runtime import Action, Deliver, Step
+from ..sim.runtime import Action, Step
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..sim.runtime import Simulation
@@ -29,11 +29,14 @@ if TYPE_CHECKING:  # pragma: no cover
 def fallback_action(sim: "Simulation") -> Action | None:
     """A progress-guaranteeing default: deliver something, else step someone.
 
-    Returns ``None`` only when no action is enabled (quiescence).
+    Returns ``None`` only when no action is enabled (quiescence).  Built
+    on the pool's mode-agnostic
+    :meth:`~repro.sim.messages.InFlightPool.last_action`, so it works
+    unchanged on materialized and batch (columnar) pools.
     """
-    message = sim.in_flight.any_message()
-    if message is not None:
-        return Deliver(message)
+    action = sim.in_flight.last_action()
+    if action is not None:
+        return action
     steppable = sim.steppable
     if steppable:
         return Step(min(steppable))
@@ -54,6 +57,20 @@ class Adversary(abc.ABC):
     #: at scale.  Calling the index API anyway then raises
     #: ``RuntimeError``; when in doubt, leave the default ``True``.
     uses_endpoint_indexes: bool = True
+
+    #: Whether this adversary reads :class:`~repro.sim.messages.Message`
+    #: *objects* — via ``.messages``, ``any_message``, ``snapshot``, or
+    #: the endpoint index API.  Declaring ``False`` certifies that it only
+    #: uses the positional pool API (``len``, ``action_at``,
+    #: ``endpoints_at``, ``last_action``), which lets the simulation skip
+    #: materializing per-recipient messages entirely: every ``communicate``
+    #: call becomes one columnar :class:`~repro.sim.messages.Broadcast`
+    #: record plus packed int descriptors, and deliveries arrive as
+    #: ``DeliverBatch`` actions.  Behaviour is byte-identical across the
+    #: two planes (pinned by tests/sim/test_batch.py).  Runs with an event
+    #: sink attached stay materialized regardless of this flag; when in
+    #: doubt, leave the default ``True``.
+    uses_message_objects: bool = True
 
     def setup(self, sim: "Simulation") -> None:
         """Hook called once per run, before the first action is requested.

@@ -30,6 +30,10 @@ class BubbleAdversary(Adversary):
     """Buffer all traffic of a chosen subset until ``n/4`` messages pile up."""
 
     name = "bubble"
+    # Buffers concrete Message objects across actions, so it keeps the
+    # defaults: indexed, materialized pool.
+    uses_endpoint_indexes = True
+    uses_message_objects = True
 
     def __init__(
         self,

@@ -31,6 +31,10 @@ class CoinAwareAdversary(Adversary):
     """Start everyone, inspect coins, then serialize 0-flippers first."""
 
     name = "coin_aware"
+    # Reads the sent_by/addressed_to index views (Message objects), so it
+    # keeps the defaults: indexed, materialized pool.
+    uses_endpoint_indexes = True
+    uses_message_objects = True
 
     def __init__(self) -> None:
         self._started_all = False

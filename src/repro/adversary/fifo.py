@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from ..sim.runtime import Action, Deliver, Step
+from ..sim.runtime import Action, Step
 from .base import Adversary, fallback_action
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -27,7 +27,8 @@ class EagerAdversary(Adversary):
     """Deliver newest-first, then step lowest pid.  Deterministic, fast."""
 
     name = "eager"
-    uses_endpoint_indexes = False  # scans .messages / any_message() only
+    uses_endpoint_indexes = False  # positional pool API only
+    uses_message_objects = False  # delivers via last_action()
 
     def choose(self, sim: "Simulation") -> Action | None:
         """Deliver newest-first via the deterministic fallback."""
@@ -38,7 +39,8 @@ class RoundRobinAdversary(Adversary):
     """Step processors in a rotating pid order; drain messages in between."""
 
     name = "round_robin"
-    uses_endpoint_indexes = False  # scans .messages / any_message() only
+    uses_endpoint_indexes = False  # positional pool API only
+    uses_message_objects = False  # delivers via last_action()
 
     def __init__(self) -> None:
         self._next_pid = 0
@@ -49,9 +51,9 @@ class RoundRobinAdversary(Adversary):
 
     def choose(self, sim: "Simulation") -> Action | None:
         """Drain in-flight messages, else step the next processor in rotation."""
-        message = sim.in_flight.any_message()
-        if message is not None:
-            return Deliver(message)
+        action = sim.in_flight.last_action()
+        if action is not None:
+            return action
         steppable = sim.steppable
         if not steppable:
             return None

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterable
 
-from ..sim.runtime import Action, Deliver, Step
+from ..sim.runtime import Action, Step
 from .base import Adversary
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -26,7 +26,8 @@ class QuorumSplitAdversary(Adversary):
     """Prefer same-half deliveries to keep the two halves' views disjoint."""
 
     name = "quorum_split"
-    uses_endpoint_indexes = False  # scans .messages / any_message() only
+    uses_endpoint_indexes = False  # positional pool API only
+    uses_message_objects = False  # scans endpoints_at(), not Message objects
 
     def __init__(self, first_half: Iterable[int] | None = None) -> None:
         self._half_arg: frozenset[int] | None = (
@@ -48,18 +49,19 @@ class QuorumSplitAdversary(Adversary):
 
     def choose(self, sim: "Simulation") -> Action | None:
         """Deliver same-half traffic when possible, leaking cross-half minimally."""
-        pool = sim.in_flight.messages
+        pool = sim.in_flight
+        count = len(pool)
         # Newest-first bounded scan: same-half messages are usually near the
         # top because cross-half ones are exactly the ones we keep skipping.
-        for message in reversed(pool[-64:]):
-            if self._same_half(message.sender, message.recipient):
-                return Deliver(message)
+        for index in range(count - 1, max(count - 64, 0) - 1, -1):
+            if self._same_half(*pool.endpoints_at(index)):
+                return pool.action_at(index)
         steppable = sim.steppable
         if steppable:
             return Step(min(steppable))
-        if pool:
-            for message in reversed(pool):
-                if self._same_half(message.sender, message.recipient):
-                    return Deliver(message)
-            return Deliver(pool[-1])  # forced cross-half leakage
+        if count:
+            for index in range(count - 1, -1, -1):
+                if self._same_half(*pool.endpoints_at(index)):
+                    return pool.action_at(index)
+            return pool.action_at(count - 1)  # forced cross-half leakage
         return None

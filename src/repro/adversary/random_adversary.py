@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from ..sim.rng import make_stream
-from ..sim.runtime import Action, Deliver, Step
+from ..sim.runtime import Action, Step
 from .base import Adversary
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -28,7 +28,8 @@ class RandomAdversary(Adversary):
     """
 
     name = "random"
-    uses_endpoint_indexes = False  # scans .messages / any_message() only
+    uses_endpoint_indexes = False  # positional pool API only
+    uses_message_objects = False  # chooses by pool position (action_at)
 
     def __init__(self, seed: int = 0, deliver_bias: float = 0.75) -> None:
         if not 0.0 < deliver_bias < 1.0:
@@ -43,13 +44,14 @@ class RandomAdversary(Adversary):
 
     def choose(self, sim: "Simulation") -> Action | None:
         """Deliver or step a uniformly random enabled target."""
-        pool = sim.in_flight.messages
+        pool = sim.in_flight
+        count = len(pool)
         steppable = sim.steppable
-        if pool and (not steppable or self._rng.random() < self._deliver_bias):
-            return Deliver(pool[self._rng.randrange(len(pool))])
+        if count and (not steppable or self._rng.random() < self._deliver_bias):
+            return pool.action_at(self._rng.randrange(count))
         if steppable:
             candidates = tuple(steppable)
             return Step(candidates[self._rng.randrange(len(candidates))])
-        if pool:
-            return Deliver(pool[self._rng.randrange(len(pool))])
+        if count:
+            return pool.action_at(self._rng.randrange(count))
         return None

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Sequence
 
-from ..sim.runtime import Action, Deliver, Step
+from ..sim.runtime import Action, Step
 from .base import Adversary
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -28,7 +28,8 @@ class SequentialAdversary(Adversary):
     """Run participants one at a time, in ``order`` (default: pid order)."""
 
     name = "sequential"
-    uses_endpoint_indexes = False  # scans .messages / any_message() only
+    uses_endpoint_indexes = False  # positional pool API only
+    uses_message_objects = False  # delivers via last_action()
 
     def __init__(self, order: Sequence[int] | None = None) -> None:
         self._order_arg = list(order) if order is not None else None
@@ -55,9 +56,9 @@ class SequentialAdversary(Adversary):
         focus = self._focus(sim)
         if focus is not None and focus in sim.steppable:
             return Step(focus)
-        message = sim.in_flight.any_message()
-        if message is not None:
-            return Deliver(message)
+        action = sim.in_flight.last_action()
+        if action is not None:
+            return action
         steppable = sim.steppable
         if steppable:
             # The focus is blocked with no traffic left (quorum unreachable,

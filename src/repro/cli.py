@@ -139,6 +139,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--check-serial", action="store_true",
         help="also run serially and verify parallel results are identical",
     )
+    bench_p.add_argument(
+        "--profile", action="store_true",
+        help=(
+            "re-run the largest grid cell once under cProfile and embed "
+            "the top-20 cumulative-time functions in the baseline meta"
+        ),
+    )
+    bench_p.add_argument(
+        "--render-tables", action="store_true",
+        help=(
+            "skip the sweep; render the BENCH_*.json baselines in --out "
+            "as <out>/bench_tables.txt"
+        ),
+    )
 
     trace_p = sub.add_parser(
         "trace", help="run one task and record its event stream to JSONL"
@@ -452,9 +466,18 @@ def _cmd_bench(args) -> int:
     from .harness.bench import (
         compare_results,
         load_result,
+        render_tables,
         run_experiment,
         verify_parallel_matches_serial,
     )
+
+    if args.render_tables:
+        text = render_tables(args.out)
+        path = os.path.join(args.out, "bench_tables.txt")
+        with open(path, "w", encoding="utf-8") as fp:
+            fp.write(text)
+        print(f"tables: {path}")
+        return 0
 
     exit_code = 0
     for exp in args.exp:
@@ -470,7 +493,8 @@ def _cmd_bench(args) -> int:
                 exit_code = 1
         else:
             result = run_experiment(
-                exp, workers=args.workers, repeats=args.repeats, full=args.full
+                exp, workers=args.workers, repeats=args.repeats,
+                full=args.full, profile=args.profile,
             )
         table = Table(
             f"{exp}: {result.meta.get('title', '')} "
@@ -487,6 +511,17 @@ def _cmd_bench(args) -> int:
             )
         table.add_note(f"total wall-clock {result.wall_s_total:.3f}s")
         print(table.render())
+        profile_meta = result.meta.get("profile")
+        if profile_meta:
+            print(
+                f"profile (n={profile_meta['param']}, "
+                f"{profile_meta['wall_s']:.3f}s): top cumulative functions"
+            )
+            for entry in profile_meta["top"][:5]:
+                print(
+                    f"  {entry['cumtime_s']:8.3f}s  {entry['ncalls']:>10}  "
+                    f"{entry['function']}"
+                )
         if args.baseline:
             path = result.save(args.out)
             print(f"baseline:      {path}")

@@ -33,6 +33,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
+from ..sim.rng import derive_seed
 from ..sim.trace import Metrics
 from .runners import run_leader_election, run_sifting_phase
 from .sweep import merged_metrics, repeat
@@ -170,8 +171,8 @@ EXPERIMENTS: dict[str, BenchExperiment] = {
         BenchExperiment(
             name="e4",
             title="large-n sifting (sequential + oblivious, k=16)",
-            values=(256, 1024, 4096),
-            values_full=(256, 1024, 4096, 8192),
+            values=(256, 1024, 4096, 16384),
+            values_full=(256, 1024, 4096, 16384, 65536),
             seed_base=40,
             runner=_sift_large_n_runner,
             fingerprint=_sift_pair_fingerprint,
@@ -296,17 +297,118 @@ def cell_fingerprint(experiment: BenchExperiment, runs: Sequence[Any]) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
+def render_tables(directory: str = "bench") -> str:
+    """Render every ``BENCH_*.json`` baseline in ``directory`` as text.
+
+    The human-readable companion of the committed baselines: regenerated
+    from the recorded JSON (never measured fresh), so the tables cannot
+    drift from the numbers they summarize.  The CLI writes the result to
+    ``<directory>/bench_tables.txt`` via ``repro bench --render-tables``.
+    """
+    import glob
+    import os
+
+    from .tables import Table
+
+    paths = sorted(glob.glob(os.path.join(directory, "BENCH_*.json")))
+    if not paths:
+        raise ValueError(f"no BENCH_*.json baselines in {directory!r}")
+    chunks: list[str] = []
+    for path in paths:
+        result = load_result(path)
+        table = Table(
+            f"{result.exp}: {result.meta.get('title', '')} "
+            f"(workers={result.workers}, repeats={result.repeats})",
+            ["n", "wall s", "runs/s", "messages", "max comm calls",
+             "fingerprint"],
+        )
+        for cell in result.cells:
+            table.add_row(
+                cell.param,
+                round(cell.wall_s, 3),
+                round(cell.runs_per_s, 2),
+                cell.messages_total,
+                cell.max_comm_calls,
+                cell.fingerprint,
+            )
+        table.add_note(f"total wall-clock {result.wall_s_total:.3f}s")
+        profile = result.meta.get("profile")
+        if profile:
+            hottest = ", ".join(
+                entry["function"].rsplit("/", 1)[-1]
+                for entry in profile["top"][:3]
+            )
+            table.add_note(
+                f"profiled n={profile['param']} ({profile['wall_s']:.3f}s); "
+                f"hottest: {hottest}"
+            )
+        chunks.append(table.render())
+    return "\n\n".join(chunks) + "\n"
+
+
+def profile_cell(
+    exp: str, value: int | None = None, top: int = 20
+) -> dict[str, Any]:
+    """Profile one repetition of one grid cell under :mod:`cProfile`.
+
+    Runs the experiment's runner once for ``value`` (default: the largest
+    fast-grid value) with the same derived seed repetition 0 of a sweep
+    would use, and returns a JSON-ready summary: the ``top`` functions by
+    cumulative time.  Embedded in baseline ``meta`` by ``--profile`` so a
+    recorded number always carries the evidence of *where* the time went.
+    """
+    import cProfile
+    import pstats
+
+    try:
+        experiment = EXPERIMENTS[exp]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {exp!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+    if value is None:
+        value = experiment.values[-1]
+    seed = derive_seed(experiment.seed_base, f"sweep/{value!r}/0")
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    experiment.runner(value, seed)
+    profiler.disable()
+    wall = time.perf_counter() - start
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    entries: list[dict[str, Any]] = []
+    for func in stats.fcn_list[:top]:  # type: ignore[attr-defined]
+        _cc, ncalls, tottime, cumtime, _callers = stats.stats[func]  # type: ignore[attr-defined]
+        filename, lineno, name = func
+        entries.append({
+            "function": f"{filename}:{lineno}({name})",
+            "ncalls": ncalls,
+            "tottime_s": round(tottime, 6),
+            "cumtime_s": round(cumtime, 6),
+        })
+    return {
+        "param": value,
+        "seed": seed,
+        "wall_s": round(wall, 6),
+        "top": entries,
+    }
+
+
 def run_experiment(
     exp: str,
     workers: int = 1,
     repeats: int = 3,
     full: bool = False,
+    profile: bool = False,
 ) -> BenchResult:
     """Run one experiment's grid, timing each cell.
 
     Each cell's repetitions are fanned out over ``workers`` processes;
     the derived seeds (and therefore the fingerprints) are independent of
-    ``workers``.
+    ``workers``.  With ``profile=True`` the largest cell is additionally
+    re-run once under :func:`profile_cell` (outside the timed loop) and
+    the hot-function table is stored in ``meta["profile"]``.
     """
     try:
         experiment = EXPERIMENTS[exp]
@@ -341,6 +443,13 @@ def run_experiment(
             max_comm_calls=metrics.max_comm_calls,
             fingerprint=cell_fingerprint(experiment, runs),
         ))
+    meta: dict[str, Any] = {
+        "title": experiment.title,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+    if profile:
+        meta["profile"] = profile_cell(exp, grid[-1])
     return BenchResult(
         exp=exp,
         workers=workers,
@@ -348,11 +457,7 @@ def run_experiment(
         grid=grid,
         wall_s_total=time.perf_counter() - total_start,
         cells=cells,
-        meta={
-            "title": experiment.title,
-            "python": platform.python_version(),
-            "platform": platform.platform(),
-        },
+        meta=meta,
     )
 
 
@@ -428,21 +533,28 @@ def compare_results(
 
     A cell regresses when its wall-clock exceeds the baseline's by more
     than ``tolerance`` relatively *and* ``min_delta_s`` absolutely (tiny
-    cells jitter too much to judge by ratio alone).  When grid, repeats,
-    and seeds line up, cell fingerprints are also compared: any
-    difference is flagged as drift — a perf PR must not change behaviour.
+    cells jitter too much to judge by ratio alone).  Per-cell seeds are
+    derived from ``(seed_base, value, i)`` independently of the
+    surrounding grid, so whenever the repeat counts match, cell
+    fingerprints are compared on every *common* grid value — extending a
+    grid with new cells must not silence drift detection on the old
+    ones.  Any difference is flagged as drift: a perf PR must not change
+    behaviour.
     """
     if baseline.exp != current.exp:
         raise ValueError(
             f"cannot compare experiments {baseline.exp!r} and {current.exp!r}"
         )
     notes: list[str] = []
-    comparable = (
-        baseline.grid == current.grid and baseline.repeats == current.repeats
-    )
+    comparable = baseline.repeats == current.repeats
     if not comparable:
         notes.append(
-            "grid/repeats differ from the baseline; fingerprint drift not checked"
+            "repeat counts differ from the baseline; fingerprint drift not checked"
+        )
+    elif baseline.grid != current.grid:
+        notes.append(
+            "grids differ from the baseline; drift checked on common cells, "
+            "wall-clock totals not directly comparable"
         )
     if baseline.workers != current.workers:
         notes.append(

@@ -65,6 +65,7 @@ def _build_simulation(
     profiler=None,
     delta_propagation: bool = True,
     telemetry=None,
+    batch_messages: bool | None = None,
 ) -> Simulation:
     scheduler = make_adversary(adversary, seed)
     if crash_schedule:
@@ -80,6 +81,7 @@ def _build_simulation(
         profiler=profiler,
         delta_propagation=delta_propagation,
         telemetry=telemetry,
+        batch_messages=batch_messages,
     )
 
 
@@ -142,6 +144,7 @@ def run_leader_election(
     profiler=None,
     delta_propagation: bool = True,
     telemetry=None,
+    batch_messages: bool | None = None,
 ) -> LeaderElectionRun:
     """Run one leader election to completion and check it.
 
@@ -154,6 +157,10 @@ def run_leader_election(
     consumers (:class:`~repro.obs.metrics.MetricsSink`,
     :class:`~repro.obs.live.LiveTelemetry`, or a
     :class:`~repro.check.streaming.StreamingChecker`).
+    ``batch_messages`` overrides the pool-representation negotiation:
+    ``None`` negotiates from the adversary's capability flags, ``False``
+    forces materialized ``Message`` objects (the equivalence tests'
+    control arm), ``True`` asserts the columnar batch plane.
     """
     if algorithm == "poison_pill":
         factory = make_leader_elect()
@@ -171,7 +178,7 @@ def run_leader_election(
     sim = _build_simulation(
         n, factory, participants, adversary, seed, crash_schedule,
         record_events, max_events, sink, profiler, delta_propagation,
-        telemetry,
+        telemetry, batch_messages,
     )
     result = sim.run(require_termination=check and not crash_schedule)
     report = check_leader_election(result) if check else LeaderElectionReport(
@@ -225,6 +232,7 @@ def run_sifting_phase(
     profiler=None,
     delta_propagation: bool = True,
     telemetry=None,
+    batch_messages: bool | None = None,
 ) -> SiftingRun:
     """Run one sifting phase (PoisonPill / heterogeneous / naive)."""
     if kind == "poison_pill":
@@ -239,6 +247,7 @@ def run_sifting_phase(
     sim = _build_simulation(
         n, factory, participants, adversary, seed, None, record_events,
         max_events, sink, profiler, delta_propagation, telemetry,
+        batch_messages,
     )
     result = sim.run()
     survivors = check_sifting_phase(result) if check else sum(
@@ -295,6 +304,7 @@ def run_renaming(
     profiler=None,
     delta_propagation: bool = True,
     telemetry=None,
+    batch_messages: bool | None = None,
 ) -> RenamingRun:
     """Run one renaming execution to completion and check it."""
     if algorithm == "paper":
@@ -311,7 +321,7 @@ def run_renaming(
     sim = _build_simulation(
         n, factory, participants, adversary, seed, crash_schedule,
         record_events, max_events, sink, profiler, delta_propagation,
-        telemetry,
+        telemetry, batch_messages,
     )
     result = sim.run(require_termination=check and not crash_schedule)
     names = check_renaming(result) if check else dict(result.outcomes)

@@ -16,7 +16,7 @@ from .errors import (
     SimulationError,
     SimulationLimitError,
 )
-from .messages import InFlightPool, Message, MessageKind
+from .messages import Broadcast, DeliverBatch, InFlightPool, Message, MessageKind
 from .process import AlgorithmFactory, Process, ProcessAPI, ProcessStatus
 from .registers import POLICY_MAX, POLICY_OR, POLICY_VERSION, RegisterFile, merge_entry
 from .rng import CoinLog, derive_seed, make_stream
@@ -35,12 +35,14 @@ __all__ = [
     "Action",
     "AdversaryProtocolError",
     "AlgorithmFactory",
+    "Broadcast",
     "CoinLog",
     "Collect",
     "Crash",
     "CrashBudgetError",
     "Decision",
     "Deliver",
+    "DeliverBatch",
     "InFlightPool",
     "Message",
     "MessageKind",

@@ -300,18 +300,22 @@ class DeltaTracker:
         var: str,
         payload: Mapping[Hashable, Entry],
         ticks: Mapping[Hashable, int],
-    ) -> None:
+    ) -> dict[Hashable, int]:
         """Record the send-time ticks of one PROPAGATE broadcast.
 
         One shared ticks snapshot serves every recipient: folding a tick
         for a key that was omitted for some recipient is a no-op, because
         omission required that recipient's watermark to already be at or
         above the send-time tick.
+
+        Returns the snapshot so the batch plane can pin it on the
+        :class:`~repro.sim.messages.Broadcast` record: batch-mode
+        :meth:`payload_for` runs at delivery time, when the live tick
+        mapping may already be ahead of the broadcast's send state.
         """
-        self._inflight[call_id] = (
-            var,
-            {key: ticks[key] for key in payload},
-        )
+        snapshot = {key: ticks[key] for key in payload}
+        self._inflight[call_id] = (var, snapshot)
+        return snapshot
 
     def payload_for(
         self,

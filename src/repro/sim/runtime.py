@@ -10,7 +10,10 @@ paper's model (Section 2):
   incoming acknowledgement against its outstanding ``communicate`` call.
   Every processor services requests this way, participant or not, decided
   or not: the model's standing assumption that non-faulty processors
-  always assist.
+  always assist.  On batch-mode runs (columnar pools, see
+  :mod:`repro.sim.messages`) the same step is expressed as
+  ``DeliverBatch(slot, desc)``, naming the in-flight leg by pool position
+  instead of by object; the semantics are identical.
 * ``Step(pid)`` — a computation step of the *algorithm*: starts the
   participant's coroutine, or resumes it when its outstanding
   ``communicate`` call has reached its quorum.
@@ -41,7 +44,19 @@ from .errors import (
     QuiescenceError,
     SimulationLimitError,
 )
-from .messages import InFlightPool, Message, MessageKind
+from .messages import (
+    BROADCAST_SHIFT,
+    MAX_BATCH_PIDS,
+    PID_BITS,
+    PID_MASK,
+    REPLY_BIT,
+    Broadcast,
+    Deliver,
+    DeliverBatch,
+    InFlightPool,
+    Message,
+    MessageKind,
+)
 from .process import AlgorithmFactory, Process, ProcessStatus
 from .registers import DeltaTracker
 from .rng import make_stream
@@ -52,12 +67,6 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from ..adversary.base import Adversary
     from ..obs.events import EventSink
     from ..obs.profile import Profiler
-
-
-@dataclass(frozen=True, slots=True)
-class Deliver:
-    """Adversary action: deliver one in-flight message."""
-    message: Message
 
 
 @dataclass(frozen=True, slots=True)
@@ -72,14 +81,22 @@ class Crash:
     pid: int
 
 
-Action = Deliver | Step | Crash
+# Deliver / DeliverBatch live in messages.py (the pool builds them in its
+# mode-agnostic positional API) and are re-exported here for callers.
+Action = Deliver | DeliverBatch | Step | Crash
 
 #: Shared empty payload for events that need none (avoids a dict per event).
 _NO_FIELDS: Mapping[str, Any] = {}
 
+# Enum member lookups hoisted out of the batch delivery hot loop.
+_ACK = MessageKind.ACK
+_COLLECT_REPLY = MessageKind.COLLECT_REPLY
+_PROPAGATE = MessageKind.PROPAGATE
+
 #: Profiler span names for each action type (see ``Simulation.execute``).
 _ACTION_SPANS = {
     Deliver: "execute.deliver",
+    DeliverBatch: "execute.deliver",
     Step: "execute.step",
     Crash: "execute.crash",
 }
@@ -140,6 +157,7 @@ class Simulation:
         profiler: "Profiler | None" = None,
         delta_propagation: bool = True,
         telemetry: "EventSink | None" = None,
+        batch_messages: bool | None = None,
     ) -> None:
         if n < 1:
             raise ValueError("need at least one processor")
@@ -154,10 +172,41 @@ class Simulation:
             Process(pid, n, make_stream(seed, f"proc/{pid}"), participants.get(pid))
             for pid in range(n)
         ]
+        # Capability negotiation for the pool representation.  Batch
+        # (columnar) mode needs two certificates: the adversary never
+        # touches Message objects, and no event sink is attached (the
+        # per-message MSG_SEND/MSG_DELIVER stream requires materialized
+        # messages).  ``batch_messages`` overrides: False forces the
+        # materialized plane (equivalence tests), True asserts batch mode
+        # and raises if the certificates don't hold.
+        wants_objects = getattr(adversary, "uses_message_objects", True)
+        has_sink = record_events or sink is not None or telemetry is not None
+        if batch_messages is None:
+            batched = not wants_objects and not has_sink and n <= MAX_BATCH_PIDS
+        elif batch_messages:
+            if wants_objects:
+                raise ValueError(
+                    "batch_messages=True requires an adversary that declares "
+                    "uses_message_objects = False"
+                )
+            if has_sink:
+                raise ValueError(
+                    "batch_messages=True is incompatible with event sinks: "
+                    "per-message events require materialized messages"
+                )
+            if n > MAX_BATCH_PIDS:
+                raise ValueError(
+                    f"batch descriptors encode pids in {PID_BITS} bits; "
+                    f"n={n} exceeds the {MAX_BATCH_PIDS} ceiling"
+                )
+            batched = True
+        else:
+            batched = False
         # Skip the per-endpoint index bookkeeping when this run's
         # adversary declared it never reads the index API.
         self.in_flight = InFlightPool(
-            indexed=getattr(adversary, "uses_endpoint_indexes", True)
+            indexed=getattr(adversary, "uses_endpoint_indexes", True),
+            batched=batched,
         )
         self.metrics = Metrics(n)
         # Delta propagation: per-sender trackers (created lazily on first
@@ -171,8 +220,12 @@ class Simulation:
             {} if delta_propagation else None
         )
         # Recycled Message objects (only when no event sink holds raw
-        # message references); see _deliver.
+        # message references); see _deliver.  The cap scales with n: one
+        # broadcast materializes up to n - 1 replies, so the hardcoded
+        # small cap that served n<=256 would starve the freelist at large
+        # n and put the allocator back on the hot path.
         self._free_messages: list[Message] = []
+        self._free_cap = max(256, 2 * n)
         self.trace = Trace(enabled=record_events)
         self.profiler = profiler
         # The structured event stream (repro.obs).  ``record_events`` keeps
@@ -278,6 +331,9 @@ class Simulation:
         outcome when more than ``ceil(n/2) - 1`` processors were crashed.
         """
         self.adversary.setup(self)
+        # Without a profiler, skip the execute() span wrapper per action —
+        # one call frame per event is measurable at millions of events.
+        execute = self._execute if self.profiler is None else self.execute
         while self._undecided:
             if self.metrics.events_executed >= self.max_events:
                 raise SimulationLimitError(
@@ -295,7 +351,7 @@ class Simulation:
                         "adversary passed while actions were still enabled"
                     )
                 break
-            self.execute(action)
+            execute(action)
         if require_termination and self._undecided:
             raise QuiescenceError(
                 f"participants {sorted(self._undecided)} never decided"
@@ -314,7 +370,11 @@ class Simulation:
     def _execute(self, action: Action) -> None:
         self.metrics.events_executed += 1
         self.clock += 1
-        if isinstance(action, Deliver):
+        # DeliverBatch first: on a batch run every delivery takes this
+        # branch, and deliveries dominate the action mix.
+        if isinstance(action, DeliverBatch):
+            self._deliver_batch(action)
+        elif isinstance(action, Deliver):
             self._deliver(action.message)
         elif isinstance(action, Step):
             self._step(action.pid)
@@ -369,7 +429,11 @@ class Simulation:
                 raw=message,
             ))
         if recipient.status is ProcessStatus.CRASHED:
-            return  # delivered into the void; faulty processors never reply
+            # Delivered into the void; faulty processors never reply.  The
+            # swallowed Message is still recyclable — nothing retained it.
+            if self._obs is None and len(self._free_messages) < self._free_cap:
+                self._free_messages.append(message)
+            return
         if message.kind is MessageKind.PROPAGATE:
             assert message.entries is not None
             if message.entries:
@@ -408,7 +472,7 @@ class Simulation:
             )
         else:
             self._record_reply(recipient, message)
-        if self._obs is None and len(self._free_messages) < 256:
+        if self._obs is None and len(self._free_messages) < self._free_cap:
             # Recycle the delivered Message: nothing retains it (the pool
             # dropped it above, views/metrics keep only payload mappings,
             # and adversaries do not hold delivered messages).  With an
@@ -447,6 +511,111 @@ class Simulation:
                     process.pid,
                     {"call": pending.call_id, "acks": pending.acks},
                 ))
+
+    def _deliver_batch(self, action: DeliverBatch) -> None:
+        """Deliver one batch descriptor — the columnar twin of :meth:`_deliver`.
+
+        Mirrors the materialized path operation for operation (same pool
+        mutations in the same order, same metrics updates, same crash
+        semantics) so the two modes stay byte-identical; the only
+        intentional difference is *when* delta payloads are computed
+        (delivery time here, send time there — see
+        :class:`~repro.sim.messages.Broadcast`).
+        """
+        pool = self.in_flight
+        if not pool._batched:
+            raise AdversaryProtocolError(
+                "DeliverBatch action on a materialized (non-batch) pool"
+            )
+        desc = action.desc
+        slot = action.slot
+        # Inlined InFlightPool.remove_descriptor / broadcast_of and the
+        # Broadcast/Metrics single-field updates below: this method runs
+        # once per delivered message (millions of times at n=65536), and
+        # the call frames alone cost ~25% of the loop.
+        descs = pool._descs
+        if slot < 0 or slot >= len(descs) or descs[slot] != desc:
+            raise KeyError(
+                f"descriptor not in flight: slot={slot} desc={desc}"
+            )
+        last = descs.pop()
+        if slot < len(descs):
+            descs[slot] = last
+        metrics = self.metrics
+        metrics.deliveries += 1
+        broadcast = pool._broadcasts[desc >> BROADCAST_SHIFT]
+        endpoint = desc & PID_MASK
+        if desc & REPLY_BIT:
+            # Reply leg: fold the ack into the broadcaster's pending call
+            # (the body of _record_batch_reply, inlined — replies are half
+            # of all deliveries).
+            process = self.processes[broadcast.sender]
+            if process.status is ProcessStatus.CRASHED:
+                # Same order as the materialized path: a reply delivered
+                # to a crashed broadcaster vanishes before any accounting
+                # — delta watermarks included (the crashed sender never
+                # sends again, so the lost fold is unobservable there too).
+                if broadcast.views is not None:
+                    broadcast.views.pop(endpoint, None)
+                return
+            if broadcast.kind is _PROPAGATE:
+                tracker = broadcast.tracker
+                if tracker is not None:
+                    # Before the staleness check, exactly like
+                    # _record_reply: a stale ACK still proves the
+                    # recipient merged the payload.
+                    tracker.on_ack(endpoint, broadcast.call_id)
+                pending = process.pending
+                if pending is None or pending.call_id != broadcast.call_id:
+                    return  # stale ack for an already-resolved call
+                pending.acks += 1
+            else:
+                view = broadcast.views.pop(endpoint)
+                pending = process.pending
+                if pending is None or pending.call_id != broadcast.call_id:
+                    return
+                pending.acks += 1
+                pending.views.append(view)
+            if pending.satisfied and process.status is ProcessStatus.RUNNING:
+                self._needs_step.add(broadcast.sender)
+            return
+        # Broadcast.mark_delivered, inlined.
+        words = broadcast._undelivered_words
+        words[endpoint >> 6] &= ~(1 << (endpoint & 63))
+        broadcast.undelivered_count -= 1
+        recipient = self.processes[endpoint]
+        if recipient.status is ProcessStatus.CRASHED:
+            return  # delivered into the void; faulty processors never reply
+        if broadcast.kind is _PROPAGATE:
+            entries = broadcast.entries
+            tracker = broadcast.tracker
+            if tracker is not None:
+                entries = tracker.payload_for(
+                    endpoint, broadcast.var, broadcast.entries,
+                    broadcast.ticks, broadcast.cache,
+                )
+            if entries:
+                recipient.registers.merge(broadcast.var, entries)
+            descs.append(desc | REPLY_BIT)  # pool.add_reply, inlined
+            recipient.messages_sent += 1
+            # Metrics.record_send(endpoint, ACK, cells=0), inlined.
+            metrics.messages_total += 1
+            metrics.messages_by_kind[_ACK] += 1
+            metrics.messages_sent_by[endpoint] += 1
+        else:
+            # COLLECT: capture the responder's memoized value view at
+            # request-delivery time (its registers may change before the
+            # reply leg lands) — the snapshot the materialized path pins
+            # by attaching the view to the COLLECT_REPLY message.
+            view = recipient.registers.value_view(broadcast.var)
+            broadcast.views[endpoint] = view
+            descs.append(desc | REPLY_BIT)  # pool.add_reply, inlined
+            recipient.messages_sent += 1
+            # Metrics.record_send(endpoint, COLLECT_REPLY, len(view)), inlined.
+            metrics.messages_total += 1
+            metrics.messages_by_kind[_COLLECT_REPLY] += 1
+            metrics.messages_sent_by[endpoint] += 1
+            metrics.payload_cells += len(view)
 
     def _step(self, pid: int) -> None:
         process = self.processes[pid]
@@ -540,6 +709,7 @@ class Simulation:
         var = request.var
         tracker = None
         ticks: Mapping[Any, int] = _NO_FIELDS
+        send_ticks: Mapping[Any, int] | None = None
         payload_cache: dict[int, Mapping[Any, Any]] = {}
         if isinstance(request, Propagate):
             # One payload mapping per communicate call, shared (frozen,
@@ -554,18 +724,30 @@ class Simulation:
                 if tracker is None:
                     tracker = self._delta[pid] = DeltaTracker()
                 ticks = process.registers.mod_ticks(var)
-                tracker.begin_call(call_id, var, entries, ticks)
+                send_ticks = tracker.begin_call(call_id, var, entries, ticks)
         else:
             entries = None
             pending.views = [process.registers.value_view(var)]
             kind = MessageKind.COLLECT
             cells = 0
         process.pending = pending
-        if self._obs is None:
-            # Batched fast path: per-message accounting (metrics, counter
-            # bumps) is folded into one update after the loop; only the
-            # pool insertion remains per message.
-            in_flight = self.in_flight
+        in_flight = self.in_flight
+        if in_flight.batched:
+            # Columnar fast path: one Broadcast record plus n-1 packed
+            # descriptors (two C-speed range-extends) replace the n-1
+            # Message constructions and pool insertions below.  Delta
+            # payloads are computed lazily at delivery time against the
+            # send-time tick snapshot the tracker just recorded.
+            in_flight.open_broadcast(
+                pid, call_id, kind, var, self.n,
+                entries=entries, ticks=send_ticks, tracker=tracker,
+            )
+            process.messages_sent += self.n - 1
+            self.metrics.record_send_batch(pid, kind, cells, self.n - 1)
+        elif self._obs is None:
+            # Materialized fast path (no sink): per-message accounting
+            # (metrics, counter bumps) is folded into one update after the
+            # loop; only the pool insertion remains per message.
             for recipient in range(self.n):
                 if recipient == pid:
                     continue

@@ -60,6 +60,9 @@ def _run_witness_schedule(seed, use_lists):
         {Q: factory, J: factory, P: factory},
         EagerAdversary(),
         seed=seed,
+        # The schedule is hand-driven over concrete Message objects below,
+        # so opt out of the batch plane EagerAdversary would negotiate.
+        batch_messages=False,
     )
     # q commits; its commit reaches only j; q stalls (1 ack < quorum).
     sim.execute(Step(Q))

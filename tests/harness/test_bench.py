@@ -12,6 +12,7 @@ from repro.harness.bench import (
     EXPERIMENTS,
     compare_results,
     load_result,
+    profile_cell,
     run_experiment,
     verify_parallel_matches_serial,
 )
@@ -51,6 +52,33 @@ class TestRunExperiment:
         assert len(EXPERIMENTS["e1"].grid(full=True)) > len(
             EXPERIMENTS["e1"].grid(full=False)
         )
+
+
+class TestProfileCell:
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            profile_cell("e99")
+
+    def test_profile_shape(self):
+        meta = profile_cell("e1", value=8, top=20)
+        assert meta["param"] == 8
+        assert meta["wall_s"] > 0
+        assert 0 < len(meta["top"]) <= 20
+        for entry in meta["top"]:
+            assert set(entry) == {"function", "ncalls", "tottime_s", "cumtime_s"}
+        # Sorted by cumulative time, and the simulator actually shows up.
+        cumtimes = [entry["cumtime_s"] for entry in meta["top"]]
+        assert cumtimes == sorted(cumtimes, reverse=True)
+        assert any("runtime.py" in entry["function"] for entry in meta["top"])
+        json.dumps(meta)  # must be JSON-embeddable as baseline meta
+
+    def test_run_experiment_embeds_profile(self):
+        result = run_experiment("e1", repeats=1, profile=True)
+        meta = result.meta["profile"]
+        assert meta["param"] == EXPERIMENTS["e1"].grid(full=False)[-1]
+        assert meta["top"]
+        # The profiled re-run must not pollute the measured cells.
+        assert tuple(cell.param for cell in result.cells) == result.grid
 
 
 class TestBaselineFiles:
@@ -114,7 +142,7 @@ class TestComparison:
         assert comparison.drifted and not comparison.ok
         assert "DRIFT" in comparison.describe()
 
-    def test_different_grids_skip_drift_check(self):
+    def test_different_repeats_skip_drift_check(self):
         baseline = small_result()
         current = copy.deepcopy(baseline)
         current.repeats += 1
@@ -122,6 +150,23 @@ class TestComparison:
         comparison = compare_results(baseline, current)
         assert not comparison.comparable
         assert not comparison.drifted  # drift not judged across configs
+
+    def test_extended_grid_still_checks_common_cells(self):
+        # Cell seeds are grid-independent, so growing the grid with new
+        # values must not silence drift detection on the old cells.
+        baseline = small_result()
+        current = copy.deepcopy(baseline)
+        extra = copy.deepcopy(current.cells[-1])
+        extra.param = current.cells[-1].param * 2
+        current.cells.append(extra)
+        current.grid = tuple(cell.param for cell in current.cells)
+        comparison = compare_results(baseline, current)
+        assert comparison.comparable
+        assert comparison.ok  # common cells match; the new cell is ignored
+        assert len(comparison.cells) == len(baseline.cells)
+        current.cells[0].fingerprint = "0" * 16
+        drifted = compare_results(baseline, current)
+        assert drifted.drifted and not drifted.ok
 
     def test_cross_experiment_comparison_rejected(self):
         baseline = small_result()

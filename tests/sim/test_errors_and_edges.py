@@ -47,7 +47,10 @@ class TestStaleReplies:
             views = yield Collect("X")
             return len(views)
 
-        sim = Simulation(5, {0: algorithm}, EagerAdversary(), seed=0)
+        # Hand-driven over Message objects: force the materialized plane.
+        sim = Simulation(
+            5, {0: algorithm}, EagerAdversary(), seed=0, batch_messages=False
+        )
         # Drive manually: start 0, deliver its propagates (acks flow back),
         # resolve, then deliver leftover acks against the collect call.
         sim.execute(Step(0))
@@ -67,7 +70,7 @@ class TestStaleReplies:
         assert result.outcomes[0] >= 5 // 2 + 1
 
     def test_reply_to_nonexistent_call_ignored(self):
-        sim = Simulation(3, {}, EagerAdversary(), seed=0)
+        sim = Simulation(3, {}, EagerAdversary(), seed=0, batch_messages=False)
         stray = Message(
             sender=1, recipient=0, kind=MessageKind.ACK, call_id=999, var="X"
         )

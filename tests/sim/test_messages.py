@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.sim.messages import InFlightPool, Message, MessageKind
+from repro.sim.messages import REPLY_BIT, InFlightPool, Message, MessageKind
 
 
 def msg(sender=0, recipient=1, kind=MessageKind.ACK, call_id=1, var="v"):
@@ -62,6 +62,10 @@ class TestUidDeterminism:
             participants={pid: make_leader_elect() for pid in range(5)},
             adversary=RecordingAdversary(),
             seed=seed,
+            # The recorder reads Message.uid, so force the materialized
+            # plane (EagerAdversary would otherwise negotiate batch mode,
+            # where no uids exist).
+            batch_messages=False,
         )
         sim.run()
         return uids
@@ -226,6 +230,50 @@ class TestUnindexedPool:
         assert not CrashingAdversary(inner, []).uses_endpoint_indexes
         assert not RandomCrashAdversary(inner).uses_endpoint_indexes
         assert CrashingAdversary(BubbleAdversary(), []).uses_endpoint_indexes
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["open", "reply", "remove"]),
+            st.integers(min_value=0, max_value=4),
+        ),
+        max_size=60,
+    )
+)
+def test_batch_pool_matches_reference_model(operations):
+    """The descs plane obeys the same swap-remove slot discipline as the
+    materialized list: after any interleaving of broadcasts, replies, and
+    removals, every slot holds exactly what a naive list model predicts.
+
+    This is the invariant the mode-equivalence argument leans on — an
+    index-choosing adversary sees identical pools in both modes because
+    both lists undergo identical appends and identical swap-removes.
+    """
+    pool = InFlightPool(indexed=False, batched=True)
+    model: list[int] = []
+    for op, arg in operations:
+        if op == "open":
+            broadcast = pool.open_broadcast(
+                sender=arg, call_id=1, kind=MessageKind.PROPAGATE, var="v", n=5
+            )
+            model.extend(
+                broadcast.request_descriptor(pid) for pid in range(5) if pid != arg
+            )
+        elif op == "reply" and model:
+            request = model[arg % len(model)] & ~REPLY_BIT
+            pool.add_reply(request)
+            model.append(request | REPLY_BIT)
+        elif op == "remove" and model:
+            slot = arg % len(model)
+            pool.remove_descriptor(slot, model[slot])
+            model[slot] = model[-1]
+            model.pop()
+        assert len(pool) == len(model)
+        assert list(pool.descriptors) == model
+        for slot, desc in enumerate(model):
+            action = pool.action_at(slot)
+            assert (action.slot, action.desc) == (slot, desc)
 
 
 @given(
