@@ -11,9 +11,17 @@ The demo also runs the no-shared-state baseline (each worker privately
 shuffles the slots and tries them one by one) to show the cost of not
 propagating contention information.
 
+With ``--live`` the same claim pattern runs against the election
+service: each shard slot is a key in the service namespace, and a worker
+claims a slot by winning its lease (``acquire`` with no waiting — a busy
+slot is a lost per-slot election, try another).  Pass ``--live
+HOST:PORT`` to target a running ``repro serve``, or bare ``--live`` to
+spin up an in-process service.
+
 Usage::
 
     python examples/shard_assignment.py [n]
+    python examples/shard_assignment.py --live [HOST:PORT] [n]
 """
 
 from __future__ import annotations
@@ -23,9 +31,8 @@ import sys
 from repro import run_renaming
 
 
-def main() -> None:
-    n = int(sys.argv[1]) if len(sys.argv) > 1 else 16
-
+def run_simulated(n: int) -> None:
+    """The default path: paper renaming vs the blind baseline."""
     print(f"Assigning {n} shard slots to {n} workers, adversarial scheduling")
     print()
     paper = run_renaming(n=n, algorithm="paper", adversary="quorum_split", seed=3)
@@ -48,6 +55,80 @@ def main() -> None:
     print(f"Sharing contention info cut the slowest worker's communicate calls "
           f"by {ratio:.1f}x here;")
     print("the paper proves O(log^2 n) vs Omega(n) for the two strategies.")
+
+
+def run_live(address: str | None, n: int) -> None:
+    """The service path: slots are lease keys, claims are won elections."""
+    import asyncio
+    import random
+
+    from repro.check.invariants import evaluate_service_run
+    from repro.net.client import ServiceClient
+    from repro.net.service import ElectionService, ServiceRun
+
+    async def worker(client, slots: int, claims: dict[str, int], trials: dict[str, int]):
+        """Pick random slots until one lease is won — Figure 3's loop."""
+        rng = random.Random(hash(client.client_id) & 0xFFFF)
+        tried = 0
+        while True:
+            slot = rng.randrange(slots)
+            tried += 1
+            lease = await client.acquire(f"shard/{slot}", ttl_ms=60_000.0)
+            if lease is not None:
+                claims[client.client_id] = slot
+                trials[client.client_id] = tried
+                return
+
+    async def scenario() -> None:
+        service = None
+        if address is None:
+            service = ElectionService(seed=0, default_ttl_ms=60_000.0)
+            host, port = await service.start()
+            print(f"started in-process service at {host}:{port}")
+        else:
+            host, text = address.rsplit(":", 1)
+            port = int(text)
+        workers = [
+            await ServiceClient.connect(host, port, client_id=f"worker-{pid}")
+            for pid in range(n)
+        ]
+        print(f"{n} workers claiming {n} shard slots via lease elections")
+        print()
+        claims: dict[str, int] = {}
+        trials: dict[str, int] = {}
+        await asyncio.gather(*(worker(w, n, claims, trials) for w in workers))
+        for name in sorted(claims):
+            print(f"  {name} -> shard {claims[name]} "
+                  f"({trials[name]} slot trials)")
+        slots = sorted(claims.values())
+        assert slots == list(range(n)), "every slot claimed exactly once"
+        print()
+        print(f"max trials by any worker:  {max(trials.values())}")
+        for w in workers:
+            await w.close()
+        if service is not None:
+            run = ServiceRun.of(service)
+            await service.stop()
+            violations = evaluate_service_run(run)
+            assert not violations, violations
+            print("invariants: one holder per (slot, epoch) — strong renaming")
+            print("holds because each slot is an independent election.")
+
+    asyncio.run(scenario())
+
+
+def main() -> None:
+    """Parse argv and dispatch to the simulator or live path."""
+    argv = sys.argv[1:]
+    if argv and argv[0] == "--live":
+        rest = argv[1:]
+        address = rest[0] if rest and ":" in rest[0] else None
+        tail = rest[1:] if address is not None else rest
+        n = int(tail[0]) if tail else 8
+        run_live(address, n)
+        return
+    n = int(argv[0]) if argv else 16
+    run_simulated(n)
 
 
 if __name__ == "__main__":

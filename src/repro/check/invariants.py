@@ -117,6 +117,17 @@ PROTOCOLS: dict[str, ProtocolSpec] = {
 #: The protocols the CI smoke budget sweeps (the real algorithms).
 CORE_PROTOCOLS = ("leader_election", "poison_pill", "heterogeneous", "renaming")
 
+#: The election service (``repro serve``).  Deliberately *not* in
+#: :data:`PROTOCOLS`: the ``--protocol`` choices of ``repro check`` must
+#: all be runnable through :func:`run_protocol`, while service runs are
+#: produced live by :class:`~repro.net.service.ElectionService` and
+#: checked through :func:`evaluate_service_run`.
+SERVICE_SPEC = ProtocolSpec(
+    "service", "serve", "lease",
+    "Figure 3 / Theorem 4.2 generalized: one independent, epoch-fenced "
+    "leader election per key in the service namespace",
+)
+
 
 def run_protocol(
     spec: ProtocolSpec,
@@ -570,6 +581,72 @@ def _sifting_witness(ctx: CheckContext) -> bool:
     )
 
 
+def _check_lease_unique_holder(ctx: CheckContext) -> str | None:
+    """At most one grant per ``(key, epoch)`` — the service's Lemma A.2."""
+    seen: dict[tuple[str, int], str] = {}
+    for record in ctx.run.history:
+        slot = (record.key, record.epoch)
+        if slot in seen and seen[slot] != record.holder:
+            return (
+                f"two holders for {record.key!r} epoch {record.epoch}: "
+                f"{seen[slot]!r} and {record.holder!r}"
+            )
+        seen.setdefault(slot, record.holder)
+    return None
+
+
+def _check_lease_epoch_monotonic(ctx: CheckContext) -> str | None:
+    """Per key, grant epochs strictly increase in grant order."""
+    last: dict[str, int] = {}
+    for record in ctx.run.history:
+        previous = last.get(record.key)
+        if previous is not None and record.epoch <= previous:
+            return (
+                f"{record.key!r} granted epoch {record.epoch} after epoch "
+                f"{previous}: fencing tokens must strictly increase"
+            )
+        last[record.key] = record.epoch
+    return None
+
+
+def _check_lease_no_overlap(ctx: CheckContext) -> str | None:
+    """Per key, grant intervals never overlap: one leader at a time.
+
+    A still-open grant (``ended_ns is None``) is fine only as the *last*
+    grant of its key; any grant that starts before its predecessor ended
+    means two sessions simultaneously believed they held the key.
+    """
+    by_key: dict[str, list[Any]] = {}
+    for record in ctx.run.history:
+        by_key.setdefault(record.key, []).append(record)
+    for key, records in by_key.items():
+        records.sort(key=lambda record: record.granted_ns)
+        for previous, current in zip(records, records[1:]):
+            if previous.ended_ns is None:
+                return (
+                    f"{key!r} epoch {current.epoch} granted while epoch "
+                    f"{previous.epoch} (holder {previous.holder!r}) was "
+                    f"still open"
+                )
+            if current.granted_ns < previous.ended_ns:
+                return (
+                    f"{key!r} epoch {current.epoch} granted at "
+                    f"t={current.granted_ns} before epoch {previous.epoch} "
+                    f"ended at t={previous.ended_ns}"
+                )
+    return None
+
+
+def evaluate_service_run(run: Any) -> list[tuple[str, str]]:
+    """Check every serve-task invariant against one service history.
+
+    ``run`` is a :class:`~repro.net.service.ServiceRun` digest.  Returns
+    ``(invariant name, violation message)`` pairs, empty when the
+    namespace kept at most one fenced leader per ``(key, epoch)``.
+    """
+    return evaluate_run(SERVICE_SPEC, run, None, invariants_for("serve"))
+
+
 #: Registry of every invariant, keyed by name.
 INVARIANTS: dict[str, Invariant] = {
     inv.name: inv
@@ -658,6 +735,26 @@ INVARIANTS: dict[str, Invariant] = {
             "run", ("rename",),
             "Crash-free executions decide every participant.",
             check=_check_terminates,
+        ),
+        Invariant(
+            "lease_unique_holder", "Theorem 4.2 per name (service)",
+            "run", ("serve",),
+            "At most one holder is ever granted a given (key, epoch).",
+            check=_check_lease_unique_holder,
+        ),
+        Invariant(
+            "lease_epoch_monotonic", "epoch fencing (service)",
+            "run", ("serve",),
+            "Per key, grant epochs strictly increase: a stale fencing "
+            "token can never win a later election.",
+            check=_check_lease_epoch_monotonic,
+        ),
+        Invariant(
+            "lease_no_overlap", "mutual exclusion (service)",
+            "run", ("serve",),
+            "Per key, grant intervals never overlap: successive leaders "
+            "hand off, they do not coexist.",
+            check=_check_lease_no_overlap,
         ),
     )
 }

@@ -21,6 +21,8 @@ Examples::
     python -m repro check  --replay artifacts/violation-....shrunk.json
     python -m repro net    --task elect --n 6 --seed 0
     python -m repro net    --task elect --n 6 --drop 0.15 --delay 0.3 --chaos-seed 1
+    python -m repro serve  --port 7007 --duration 30
+    python -m repro serve  --load --keys 1000 --drop 0.05 --telemetry svc.jsonl
 """
 
 from __future__ import annotations
@@ -367,6 +369,108 @@ def build_parser() -> argparse.ArgumentParser:
     net_p.add_argument(
         "--no-check", dest="check", action="store_false", default=True,
         help="skip the repro.check run-invariant evaluation",
+    )
+
+    serve_p = sub.add_parser(
+        "serve",
+        help=(
+            "run the keyed election service (leases, epochs, failover) "
+            "or its load scenario; exit 1 on invariant violation, 2 on "
+            "runtime failure"
+        ),
+    )
+    serve_p.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_p.add_argument(
+        "--port", type=int, default=0,
+        help="listen port (0 = pick a free one and print it)",
+    )
+    serve_p.add_argument("--seed", type=int, default=0, help="election seed")
+    serve_p.add_argument(
+        "--ttl", type=float, default=5000.0, metavar="MS",
+        help="default lease TTL in milliseconds",
+    )
+    serve_p.add_argument(
+        "--grace", type=float, default=0.25, metavar="FRAC",
+        help="fraction of the TTL spent in the expiring grace window",
+    )
+    serve_p.add_argument(
+        "--election", choices=("draw", "sim"), default="draw",
+        help=(
+            "how a contested handoff picks its winner: a seeded draw, or "
+            "a full simulated leader election among the waiters"
+        ),
+    )
+    serve_p.add_argument(
+        "--duration", type=float, default=None, metavar="S",
+        help="stop serving after this many seconds (default: until Ctrl-C)",
+    )
+    serve_p.add_argument(
+        "--load", action="store_true",
+        help="run the in-process load scenario instead of serving",
+    )
+    serve_p.add_argument(
+        "--keys", type=int, default=1000,
+        help="load: concurrent named elections",
+    )
+    serve_p.add_argument(
+        "--contenders", type=int, default=3,
+        help="load: logical clients contending per key",
+    )
+    serve_p.add_argument(
+        "--rounds", type=int, default=2,
+        help="load: acquire/hold/release cycles per contender",
+    )
+    serve_p.add_argument(
+        "--sessions", type=int, default=8,
+        help="load: TCP sessions the contenders multiplex over",
+    )
+    serve_p.add_argument(
+        "--hold-ms", type=float, default=1.0,
+        help="load: how long each grant is held before release",
+    )
+    serve_p.add_argument(
+        "--crash-sessions", type=int, default=1,
+        help="load: sessions aborted while holding leases (failover phase)",
+    )
+    serve_p.add_argument(
+        "--chaos", default=None, metavar="PLAN_JSON",
+        help="fault-injection plan file (overrides --drop/--delay/--dup)",
+    )
+    serve_p.add_argument(
+        "--drop", type=float, default=0.0, help="per-frame drop probability"
+    )
+    serve_p.add_argument(
+        "--delay", type=float, default=0.0, help="per-frame delay probability"
+    )
+    serve_p.add_argument(
+        "--dup", type=float, default=0.0, help="per-frame duplicate probability"
+    )
+    serve_p.add_argument(
+        "--delay-ms", type=float, nargs=2, default=(1.0, 25.0),
+        metavar=("LO", "HI"), help="uniform delay range when a frame is delayed",
+    )
+    serve_p.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="seed of the fault plan's RNG streams",
+    )
+    serve_p.add_argument(
+        "--telemetry", default=None, metavar="OUT_JSONL",
+        help=(
+            "stream service metrics snapshots (grants, acquire/failover "
+            "latency percentiles) to this path; tail with `repro watch`"
+        ),
+    )
+    serve_p.add_argument(
+        "--telemetry-interval", type=float, default=0.5,
+        help="seconds between telemetry snapshots",
+    )
+    serve_p.add_argument(
+        "--timeout", type=float, default=300.0,
+        help="load: wall-clock budget for the whole scenario (seconds)",
+    )
+    serve_p.add_argument(
+        "--no-check", dest="check", action="store_false", default=True,
+        help="skip the repro.check lease-invariant evaluation",
     )
     return parser
 
@@ -729,7 +833,7 @@ def _cmd_net(args) -> int:
             telemetry_path=args.telemetry,
             telemetry_interval_s=args.telemetry_interval,
         )
-    except NetError as error:
+    except (NetError, ValueError) as error:
         print(f"error: {error}")
         return 2
 
@@ -766,6 +870,97 @@ def _cmd_net(args) -> int:
     return 0
 
 
+def _serve_plan(args):
+    """Build the chaos plan for ``repro serve`` from its flags."""
+    from .net import ChaosPlan, load_plan
+
+    if args.chaos is not None:
+        return load_plan(args.chaos)
+    return ChaosPlan(
+        seed=args.chaos_seed, drop=args.drop, delay=args.delay,
+        delay_ms=tuple(args.delay_ms), duplicate=args.dup,
+    )
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .check.invariants import evaluate_service_run
+    from .net.service import ElectionService, ServiceError, ServiceRun
+
+    try:
+        plan = _serve_plan(args)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}")
+        return 2
+
+    if args.load:
+        from .net.load import run_load
+
+        try:
+            report = run_load(
+                keys=args.keys, contenders=args.contenders,
+                rounds=args.rounds, sessions=args.sessions,
+                ttl_ms=args.ttl, hold_ms=args.hold_ms,
+                crash_sessions=args.crash_sessions, seed=args.seed,
+                election=args.election, plan=plan,
+                telemetry_path=args.telemetry,
+                telemetry_interval_s=args.telemetry_interval,
+                deadline_s=args.timeout,
+            )
+        except (ServiceError, OSError) as error:
+            print(f"error: {error}")
+            return 2
+        chaos = "clean" if not plan.active else (
+            f"drop={plan.drop} delay={plan.delay} dup={plan.duplicate} "
+            f"seed={plan.seed}"
+        )
+        print(f"chaos:         {chaos}")
+        print(report.describe())
+        if args.telemetry:
+            print(f"telemetry:     {args.telemetry}")
+        if args.check and not report.ok:
+            return 1
+        return 0
+
+    async def _serve() -> ServiceRun:
+        service = ElectionService(
+            seed=args.seed, default_ttl_ms=args.ttl,
+            grace_fraction=args.grace, election=args.election,
+            plan=plan, telemetry_path=args.telemetry,
+            telemetry_interval_s=args.telemetry_interval,
+            host=args.host, port=args.port,
+        )
+        host, port = await service.start()
+        print(f"serving:       {host}:{port} "
+              f"(ttl={args.ttl:.0f}ms, election={args.election})")
+        if args.telemetry:
+            print(f"telemetry:     {args.telemetry}")
+        try:
+            await service.serve_forever(duration_s=args.duration)
+        finally:
+            run = ServiceRun.of(service)
+            await service.stop()
+        return run
+
+    try:
+        run = asyncio.run(_serve())
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        return 130
+    except (ServiceError, OSError) as error:
+        print(f"error: {error}")
+        return 2
+    print(f"grants:        {len(run.history):,}")
+    if args.check:
+        violations = evaluate_service_run(run)
+        if violations:
+            for name, message in violations:
+                print(f"VIOLATION:     {name}: {message}")
+            return 1
+        print("invariants:    all hold")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -781,6 +976,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "watch": _cmd_watch,
         "check": _cmd_check,
         "net": _cmd_net,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

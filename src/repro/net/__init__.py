@@ -22,13 +22,24 @@ Layers, bottom to top:
   control plane, collects outcomes into a
   :class:`~repro.sim.runtime.SimulationResult`, feeds them through the
   :mod:`repro.check` run-invariants, and merges per-node
-  :mod:`repro.obs` traces.
+  :mod:`repro.obs` traces;
+* :mod:`repro.net.service` / :mod:`repro.net.client` — the long-lived
+  layer on top: a keyed multi-tenant election namespace (``repro
+  serve``) where every name is an independent, epoch-fenced leader
+  election with a TTL lease, re-elected on expiry or crash;
+* :mod:`repro.net.load` — the load driver that sustains thousands of
+  concurrent named elections against one service process and reports
+  acquire/failover latency percentiles.
 
-Entry point: ``python -m repro net --task elect --n 6 --seed 0``.
+Entry points: ``python -m repro net --task elect --n 6 --seed 0`` and
+``python -m repro serve --load --keys 1000``.
 """
 
 from .chaos import ChaosPlan, Partition, load_plan
+from .client import KeyEvent, Lease, ServiceClient, ServiceClientError
 from .driver import NetRun, run_net
+from .load import LoadReport, run_load
+from .service import ElectionService, ServiceError, ServiceRun
 from .wire import Frame, FrameDecoder, FrameType, WireError
 
 __all__ = [
@@ -41,4 +52,13 @@ __all__ = [
     "FrameDecoder",
     "FrameType",
     "WireError",
+    "ElectionService",
+    "ServiceError",
+    "ServiceRun",
+    "ServiceClient",
+    "ServiceClientError",
+    "Lease",
+    "KeyEvent",
+    "LoadReport",
+    "run_load",
 ]

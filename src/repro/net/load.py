@@ -1,0 +1,301 @@
+"""Load-test driver for the election service: thousands of keyed elections.
+
+The ROADMAP's acceptance bar for the service layer is quantitative:
+sustain **thousands of concurrent named elections in one service
+process** and report acquire latency percentiles plus crash-to-new-
+leader failover latency through the :mod:`repro.obs.metrics` registry.
+This driver is that measurement: it starts an in-process
+:class:`~repro.net.service.ElectionService`, fans ``contenders``
+logical clients per key over a handful of multiplexed sessions, runs
+``rounds`` full acquire → hold → release cycles per key (every
+contested handoff is one election), then crashes holder sessions and
+times the failover re-elections.
+
+The output is one merged metrics snapshot — client-side wall-clock
+acquire latency folded together with the service's own registry via
+:func:`~repro.obs.metrics.merge_snapshots` — plus the grant history
+judged by :func:`~repro.check.invariants.evaluate_service_run`: at most
+one holder per ``(key, epoch)``, strictly increasing epochs, and
+non-overlapping holds, under whatever seeded chaos plan the run was
+given.  The Kutten et al. line of PAPERS.md frames the per-election
+message budget; ``svc.frames_sent / svc.grants`` in the report is the
+measured analogue.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..obs.metrics import MetricsRegistry, merge_snapshots
+from .chaos import CLEAN_PLAN, ChaosPlan
+from .client import ServiceClient
+from .service import ElectionService, ServiceError, ServiceRun
+
+#: Sessions the logical clients multiplex over (one TCP connection each).
+DEFAULT_SESSIONS = 8
+
+
+@dataclass(slots=True)
+class LoadReport:
+    """Everything one load run produced: metrics, history, verdicts."""
+
+    keys: int
+    contenders: int
+    rounds: int
+    grants: int
+    crashes: int
+    wall_s: float
+    snapshot: dict[str, Any]
+    violations: list[tuple[str, str]] = field(default_factory=list)
+    run: ServiceRun | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True iff every serve-task invariant held on the grant history."""
+        return not self.violations
+
+    def describe(self) -> str:
+        """Human-readable summary block (the CLI's output)."""
+        lines = [
+            f"keys:          {self.keys:,} "
+            f"({self.contenders} contenders each, {self.rounds} rounds)",
+            f"grants:        {self.grants:,} "
+            f"({self.grants / self.wall_s:,.0f}/s over {self.wall_s:.2f}s)",
+        ]
+        histograms = self.snapshot.get("histograms", {})
+        for name, title in (
+            ("load.acquire_ms", "acquire ms"),
+            ("svc.failover_ms", "failover ms"),
+            ("svc.crash_failover_ms", "crash-failover ms"),
+        ):
+            hist = histograms.get(name)
+            if hist and hist.get("count"):
+                lines.append(
+                    f"{title + ':':<15}p50={hist['p50']:.2f} "
+                    f"p90={hist['p90']:.2f} p99={hist['p99']:.2f} "
+                    f"max={hist['max']:.2f} (n={hist['count']})"
+                )
+        counters = self.snapshot.get("counters", {})
+        frames = counters.get("svc.frames_sent", 0)
+        if self.grants:
+            lines.append(
+                f"frames/grant:  {frames / self.grants:.1f} "
+                f"({frames:,} service frames total)"
+            )
+        fenced = counters.get("svc.fenced", 0)
+        reelections = counters.get("svc.reelections", 0)
+        lines.append(
+            f"re-elections:  {reelections:,} (fenced rejections: {fenced:,}, "
+            f"crashes injected: {self.crashes})"
+        )
+        if self.violations:
+            for name, message in self.violations:
+                lines.append(f"VIOLATION:     {name}: {message}")
+        else:
+            lines.append("invariants:    all hold (one holder per (key, epoch))")
+        return "\n".join(lines)
+
+
+async def _contender_body(
+    client: ServiceClient,
+    key: str,
+    rounds: int,
+    ttl_ms: float,
+    hold_ms: float,
+    wait_ms: float,
+    registry: MetricsRegistry,
+    stop: asyncio.Event,
+) -> None:
+    """One logical contender: acquire, hold, release, ``rounds`` times."""
+    for _ in range(rounds):
+        if stop.is_set():
+            return
+        issued = time.perf_counter()
+        try:
+            lease = await client.acquire(key, ttl_ms=ttl_ms, wait_ms=wait_ms)
+        except Exception:
+            registry.counter("load.errors").inc()
+            return
+        if lease is None:
+            registry.counter("load.busy").inc()
+            continue
+        registry.histogram("load.acquire_ms").observe(
+            (time.perf_counter() - issued) * 1e3
+        )
+        registry.counter("load.grants").inc()
+        if hold_ms > 0:
+            await asyncio.sleep(hold_ms / 1000.0)
+        try:
+            await client.release(lease)
+        except Exception:
+            registry.counter("load.errors").inc()
+            return
+
+
+async def _run_load_async(
+    keys: int,
+    contenders: int,
+    rounds: int,
+    sessions: int,
+    ttl_ms: float,
+    hold_ms: float,
+    wait_ms: float,
+    crash_sessions: int,
+    seed: int,
+    election: str,
+    plan: ChaosPlan,
+    telemetry_path: str | None,
+    telemetry_interval_s: float,
+    deadline_s: float,
+) -> LoadReport:
+    """The driver's async body: start service, fan out, crash, report."""
+    service = ElectionService(
+        seed=seed, election=election, plan=plan,
+        telemetry_path=telemetry_path,
+        telemetry_interval_s=telemetry_interval_s,
+        default_ttl_ms=ttl_ms,
+    )
+    host, port = await service.start()
+    registry = MetricsRegistry()
+    stop = asyncio.Event()
+    wall_start = time.perf_counter()
+    clients: list[ServiceClient] = []
+    crashed = 0
+    try:
+        clients = [
+            await ServiceClient.connect(
+                host, port, client_id=f"session-{index}", pid=index, plan=plan,
+            )
+            for index in range(sessions)
+        ]
+        tasks = []
+        for key_index in range(keys):
+            key = f"lock/{key_index:05d}"
+            for contender in range(contenders):
+                client = clients[(key_index * contenders + contender) % sessions]
+                tasks.append(asyncio.create_task(_contender_body(
+                    client, key, rounds, ttl_ms, hold_ms, wait_ms,
+                    registry, stop,
+                )))
+        done, pending = await asyncio.wait(tasks, timeout=deadline_s)
+        if pending:
+            stop.set()
+            for task in pending:
+                task.cancel()
+            await asyncio.gather(*pending, return_exceptions=True)
+            raise ServiceError(
+                f"load run exceeded its {deadline_s:.0f}s deadline with "
+                f"{len(pending)} contenders unfinished"
+            )
+
+        # Failover phase: re-contend a slice of keys, then crash the
+        # sessions holding them and time the re-elections.
+        if crash_sessions > 0:
+            crash_sessions = min(crash_sessions, max(1, sessions - 1))
+            victims = clients[:crash_sessions]
+            survivors = clients[crash_sessions:]
+            failover_keys = [
+                f"lock/{key_index:05d}"
+                for key_index in range(min(keys, 64))
+            ]
+            held = []
+            for index, key in enumerate(failover_keys):
+                lease = await victims[index % len(victims)].acquire(
+                    key, ttl_ms=max(ttl_ms, 30_000.0), wait_ms=2_000.0
+                )
+                if lease is not None:
+                    held.append(key)
+            rescue_tasks = [
+                asyncio.create_task(_contender_body(
+                    survivors[index % max(1, len(survivors))], key, 1,
+                    ttl_ms, 0.0, 10_000.0, registry, stop,
+                ))
+                for index, key in enumerate(held)
+            ]
+            await asyncio.sleep(0.05)  # rescuers enqueue behind the victims
+            for victim in victims:
+                victim.abort()
+                crashed += 1
+            if rescue_tasks:
+                done, pending = await asyncio.wait(rescue_tasks, timeout=30.0)
+                for task in pending:
+                    task.cancel()
+            clients = survivors
+    finally:
+        stop.set()
+        for client in clients:
+            try:
+                await client.close()
+            except Exception:
+                pass
+        wall_s = time.perf_counter() - wall_start
+        run = ServiceRun.of(service)
+        await service.stop()
+
+    from ..check.invariants import evaluate_service_run
+
+    snapshot = merge_snapshots([registry.snapshot(), service.snapshot()])
+    return LoadReport(
+        keys=keys,
+        contenders=contenders,
+        rounds=rounds,
+        grants=len(run.history),
+        crashes=crashed,
+        wall_s=wall_s,
+        snapshot=snapshot,
+        violations=evaluate_service_run(run),
+        run=run,
+    )
+
+
+def run_load(
+    keys: int = 1000,
+    contenders: int = 3,
+    rounds: int = 2,
+    sessions: int = DEFAULT_SESSIONS,
+    ttl_ms: float = 5000.0,
+    hold_ms: float = 1.0,
+    wait_ms: float = 30_000.0,
+    crash_sessions: int = 1,
+    seed: int = 0,
+    election: str = "draw",
+    plan: ChaosPlan | None = None,
+    telemetry_path: str | None = None,
+    telemetry_interval_s: float = 0.5,
+    deadline_s: float = 300.0,
+) -> LoadReport:
+    """Run the service load scenario and return its :class:`LoadReport`.
+
+    ``keys * contenders`` contender coroutines run concurrently against
+    one service process; every key sees ``contenders * rounds`` grant
+    handoffs, each one an election.  ``crash_sessions`` sessions are
+    then aborted while holding leases, and the resulting crash-to-new-
+    leader latencies land in the ``svc.crash_failover_ms`` histogram.
+    Raises :class:`~repro.net.service.ServiceError` on bad parameters
+    or a blown deadline.
+    """
+    if keys < 1:
+        raise ServiceError(f"keys must be at least 1, got {keys}")
+    if contenders < 1:
+        raise ServiceError(f"contenders must be at least 1, got {contenders}")
+    if rounds < 1:
+        raise ServiceError(f"rounds must be at least 1, got {rounds}")
+    if sessions < 2 and crash_sessions > 0:
+        raise ServiceError(
+            "crashing sessions needs at least 2 sessions "
+            f"(got sessions={sessions})"
+        )
+    if ttl_ms <= 0:
+        raise ServiceError(f"ttl_ms must be positive, got {ttl_ms}")
+    return asyncio.run(_run_load_async(
+        keys=keys, contenders=contenders, rounds=rounds, sessions=sessions,
+        ttl_ms=ttl_ms, hold_ms=hold_ms, wait_ms=wait_ms,
+        crash_sessions=crash_sessions, seed=seed, election=election,
+        plan=plan if plan is not None else CLEAN_PLAN,
+        telemetry_path=telemetry_path,
+        telemetry_interval_s=telemetry_interval_s,
+        deadline_s=deadline_s,
+    ))

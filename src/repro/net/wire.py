@@ -70,6 +70,17 @@ class FrameType:
     RESULT = "result"
     SHUTDOWN = "shutdown"
     ERROR = "error"
+    # Service plane — the keyed election namespace (repro.net.service).
+    # Requests carry an ``rpc`` nonce; SVC_REPLY echoes it with a
+    # ``status`` field (granted/busy/fenced/ok/state/error), and
+    # SVC_EVENT frames are unsolicited watch notifications.
+    ACQUIRE = "acquire"
+    RENEW = "renew"
+    RELEASE = "release"
+    WATCH = "watch"
+    SVC_STATS = "svc_stats"
+    SVC_REPLY = "svc_reply"
+    SVC_EVENT = "svc_event"
 
 
 #: Every valid frame type, for decode-time validation.
