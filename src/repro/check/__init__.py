@@ -44,9 +44,11 @@ from .invariants import (
 )
 from .streaming import (
     STREAMING_INVARIANTS,
+    StreamError,
     StreamingChecker,
     StreamingInvariant,
     StreamingViolation,
+    audit_trace,
     streaming_invariants_for,
 )
 from .shrink import (
@@ -73,6 +75,7 @@ __all__ = [
     "STREAMING_INVARIANTS",
     "SchedulePrefixAdversary",
     "ShrinkResult",
+    "StreamError",
     "StreamingChecker",
     "StreamingInvariant",
     "StreamingViolation",
@@ -80,6 +83,7 @@ __all__ = [
     "TrialSpec",
     "TrialStats",
     "ViolationRecord",
+    "audit_trace",
     "explore",
     "invariants_for",
     "streaming_invariants_for",

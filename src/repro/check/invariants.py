@@ -137,12 +137,16 @@ def run_protocol(
     seed: int,
     pattern: str = "first",
     sink=None,
+    simulation=None,
 ):
     """Run one unchecked execution of ``spec`` and return its Run object.
 
     Checking is disabled (``check=False``) so specification violations
     surface as invariant verdicts rather than raised exceptions — the
-    explorer wants to *record* a violation, not die on it.
+    explorer wants to *record* a violation, not die on it.  When
+    ``simulation`` is given (a pre-built, possibly checkpoint-forked
+    :class:`~repro.sim.runtime.Simulation`), it is run instead of
+    constructing a fresh one.
     """
     from ..harness.runners import (
         run_leader_election,
@@ -152,7 +156,7 @@ def run_protocol(
 
     common = dict(
         n=n, k=k, adversary=adversary, seed=seed, pattern=pattern,
-        check=False, sink=sink,
+        check=False, sink=sink, simulation=simulation,
     )
     if spec.task == "elect":
         return run_leader_election(algorithm=spec.algorithm, **common)

@@ -289,6 +289,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for violation artifacts (default: cwd)",
     )
     check_p.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="TICKS",
+        help=(
+            "snapshot simulation state every that-many schedule entries "
+            "so shrinking and (with --workers 1) systematic exploration "
+            "fork mid-schedule instead of re-executing from tick 0"
+        ),
+    )
+    check_p.add_argument(
         "--replay", default=None, metavar="ARTIFACT_JSON",
         help=(
             "re-execute a shrunk violation artifact and verify it "
@@ -471,6 +479,88 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument(
         "--no-check", dest="check", action="store_false", default=True,
         help="skip the repro.check lease-invariant evaluation",
+    )
+
+    soak_p = sub.add_parser(
+        "soak",
+        help=(
+            "time-boxed chaos soak: the election service under a rolling "
+            "phased fault plan, with mid-stream invariant gating, node "
+            "kill/restart-and-recover, a mid-run service restart, and a "
+            "replayable incident artifact on violation; exit 1 on "
+            "violation, 2 on runtime failure"
+        ),
+    )
+    soak_p.add_argument(
+        "--duration", type=float, default=60.0, metavar="S",
+        help="soak length in seconds (a violation ends it early)",
+    )
+    soak_p.add_argument("--seed", type=int, default=0, help="master seed")
+    soak_p.add_argument(
+        "--profile", default="rolling",
+        help="chaos profile from the registry (see `repro soak --list-profiles`)",
+    )
+    soak_p.add_argument(
+        "--list-profiles", action="store_true",
+        help="list the chaos-profile registry and exit",
+    )
+    soak_p.add_argument(
+        "--n", type=int, default=5,
+        help="partition universe and net-episode election size",
+    )
+    soak_p.add_argument(
+        "--keys", type=int, default=2, help="independent named elections"
+    )
+    soak_p.add_argument(
+        "--contenders", type=int, default=3, help="sessions contending per key"
+    )
+    soak_p.add_argument(
+        "--ttl", type=float, default=400.0, metavar="MS",
+        help="lease TTL in milliseconds",
+    )
+    soak_p.add_argument(
+        "--hold-ms", type=float, default=15.0,
+        help="how long each grant is held before release",
+    )
+    soak_p.add_argument(
+        "--kill-every", type=int, default=6, metavar="WINS",
+        help=(
+            "each contender aborts its session (no release) roughly every "
+            "this many wins, then must restart-and-recover; 0 disables"
+        ),
+    )
+    soak_p.add_argument(
+        "--restart-service-at", type=float, default=0.5, metavar="FRAC",
+        help=(
+            "restart the whole service at this fraction of the duration, "
+            "carrying its fencing namespace over; negative disables"
+        ),
+    )
+    soak_p.add_argument(
+        "--episode-every", type=float, default=None, metavar="S",
+        help=(
+            "every S seconds run a full `repro net` election under the "
+            "chaos phase active at launch and stream its trace through "
+            "the checker (default: off)"
+        ),
+    )
+    soak_p.add_argument(
+        "--out-dir", default=".",
+        help="where episode traces and incident artifacts are written",
+    )
+    soak_p.add_argument(
+        "--inject-violation", type=float, default=None, metavar="S",
+        help=(
+            "negative control: after S seconds forge a stale-epoch double "
+            "grant that the mid-stream monitor must catch"
+        ),
+    )
+    soak_p.add_argument(
+        "--replay", default=None, metavar="INCIDENT_JSON",
+        help=(
+            "do not soak; deterministically re-verify a recorded incident "
+            "artifact (exit 0 when it replays to the recorded verdict)"
+        ),
     )
     return parser
 
@@ -746,7 +836,13 @@ def _cmd_watch(args) -> int:
         else:
             print(render_snapshot(last, meta=meta))
             if not ended:
-                print("(stream still open — rerun without --no-follow to tail)")
+                print(
+                    f"error: {args.snapshots}: stream has no end marker "
+                    f"after seq={last.get('seq')} — the writer is still "
+                    "running (tail it without --no-follow) or was "
+                    "interrupted"
+                )
+                return 1
         return 0
 
     ended = False
@@ -804,6 +900,7 @@ def _cmd_check(args) -> int:
         pattern=args.pattern,
         shrink=args.shrink,
         out_dir=args.out_dir,
+        checkpoint_every=args.checkpoint_every,
     )
     print(report.describe())
     return 0 if report.ok else 1
@@ -961,6 +1058,42 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_soak(args) -> int:
+    from .harness.soak import SoakError, replay_incident, run_soak
+    from .net.chaos import CHAOS_PROFILES
+
+    if args.list_profiles:
+        for name in sorted(CHAOS_PROFILES):
+            print(name)
+        return 0
+    if args.replay is not None:
+        try:
+            replay = replay_incident(args.replay)
+        except SoakError as error:
+            print(f"error: {error}")
+            return 2
+        print(replay.describe())
+        return 0 if replay.ok else 1
+    restart_at = (
+        None if args.restart_service_at is None or args.restart_service_at < 0
+        else args.restart_service_at
+    )
+    try:
+        report = run_soak(
+            duration_s=args.duration, seed=args.seed, profile=args.profile,
+            n=args.n, keys=args.keys, contenders=args.contenders,
+            ttl_ms=args.ttl, hold_ms=args.hold_ms,
+            kill_every=args.kill_every, restart_service_at=restart_at,
+            episode_every_s=args.episode_every, out_dir=args.out_dir,
+            inject_violation_at_s=args.inject_violation,
+        )
+    except (SoakError, OSError) as error:
+        print(f"error: {error}")
+        return 2
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -977,6 +1110,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "check": _cmd_check,
         "net": _cmd_net,
         "serve": _cmd_serve,
+        "soak": _cmd_soak,
     }
     return handlers[args.command](args)
 

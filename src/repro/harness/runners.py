@@ -52,6 +52,77 @@ def make_adversary(spec: str | Adversary, seed: int = 0) -> Adversary:
         ) from None
 
 
+def task_factory(
+    task: str,
+    algorithm: str,
+    bias: float | None = None,
+    use_lists: bool = True,
+) -> AlgorithmFactory:
+    """Resolve a (task, algorithm) pair to its coroutine factory."""
+    if task == "elect":
+        if algorithm == "poison_pill":
+            return make_leader_elect()
+        if algorithm == "poison_pill_basic":
+            return make_leader_elect(sifter="poison_pill")
+        if algorithm == "tournament":
+            return make_tournament()
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; expected one of {LEADER_ALGORITHMS}"
+        )
+    if task == "sift":
+        if algorithm == "poison_pill":
+            return make_poison_pill(bias=bias)
+        if algorithm == "heterogeneous":
+            return make_heterogeneous_poison_pill(use_lists=use_lists)
+        if algorithm == "naive":
+            return make_naive_sifter(bias=bias)
+        raise ValueError(
+            f"unknown sifter {algorithm!r}; expected one of {SIFTER_KINDS}"
+        )
+    if task == "rename":
+        if algorithm == "paper":
+            return make_get_name()
+        if algorithm == "linear":
+            return make_linear_renaming()
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; expected one of {RENAMING_ALGORITHMS}"
+        )
+    raise ValueError(f"unknown task {task!r}; expected elect, sift, or rename")
+
+
+def build_task_simulation(
+    task: str,
+    algorithm: str,
+    n: int,
+    k: int | None = None,
+    adversary: str | Adversary = "random",
+    seed: int = 0,
+    pattern: str = "first",
+    record_events: bool = False,
+    max_events: int | None = None,
+    sink=None,
+    profiler=None,
+    delta_propagation: bool = True,
+    telemetry=None,
+    batch_messages: bool | None = None,
+) -> Simulation:
+    """Build (without running) the simulation a task runner would drive.
+
+    Callers that need the :class:`~repro.sim.runtime.Simulation` before
+    execution — to enable checkpoint recording
+    (:func:`repro.sim.snapshot.enable_recording`) or to drive the action
+    loop manually — build it here, then hand it back to the matching
+    runner via its ``simulation=`` parameter.
+    """
+    factory = task_factory(task, algorithm)
+    participants = choose_participants(n, k, pattern, seed)
+    return _build_simulation(
+        n, factory, participants, adversary, seed, None,
+        record_events, max_events, sink, profiler, delta_propagation,
+        telemetry, batch_messages,
+    )
+
+
 def _build_simulation(
     n: int,
     factory: AlgorithmFactory,
@@ -145,6 +216,7 @@ def run_leader_election(
     delta_propagation: bool = True,
     telemetry=None,
     batch_messages: bool | None = None,
+    simulation: Simulation | None = None,
 ) -> LeaderElectionRun:
     """Run one leader election to completion and check it.
 
@@ -161,25 +233,21 @@ def run_leader_election(
     ``None`` negotiates from the adversary's capability flags, ``False``
     forces materialized ``Message`` objects (the equivalence tests'
     control arm), ``True`` asserts the columnar batch plane.
+    ``simulation`` runs a pre-built (possibly checkpoint-forked)
+    simulation instead of constructing one; the construction arguments
+    are then recorded verbatim but otherwise unused.
     """
-    if algorithm == "poison_pill":
-        factory = make_leader_elect()
-    elif algorithm == "poison_pill_basic":
-        # The intermediate construction of Section 3.1: plain PoisonPill
-        # rounds, O(log log k)-flavoured instead of O(log* k).
-        factory = make_leader_elect(sifter="poison_pill")
-    elif algorithm == "tournament":
-        factory = make_tournament()
+    if simulation is not None:
+        sim = simulation
+        participants = [p.pid for p in sim.processes if p.is_participant]
     else:
-        raise ValueError(
-            f"unknown algorithm {algorithm!r}; expected one of {LEADER_ALGORITHMS}"
+        factory = task_factory("elect", algorithm)
+        participants = choose_participants(n, k, pattern, seed)
+        sim = _build_simulation(
+            n, factory, participants, adversary, seed, crash_schedule,
+            record_events, max_events, sink, profiler, delta_propagation,
+            telemetry, batch_messages,
         )
-    participants = choose_participants(n, k, pattern, seed)
-    sim = _build_simulation(
-        n, factory, participants, adversary, seed, crash_schedule,
-        record_events, max_events, sink, profiler, delta_propagation,
-        telemetry, batch_messages,
-    )
     result = sim.run(require_termination=check and not crash_schedule)
     report = check_leader_election(result) if check else LeaderElectionReport(
         winner=None, losers=(), crashed=tuple(result.crashed),
@@ -233,22 +301,20 @@ def run_sifting_phase(
     delta_propagation: bool = True,
     telemetry=None,
     batch_messages: bool | None = None,
+    simulation: Simulation | None = None,
 ) -> SiftingRun:
     """Run one sifting phase (PoisonPill / heterogeneous / naive)."""
-    if kind == "poison_pill":
-        factory = make_poison_pill(bias=bias)
-    elif kind == "heterogeneous":
-        factory = make_heterogeneous_poison_pill(use_lists=use_lists)
-    elif kind == "naive":
-        factory = make_naive_sifter(bias=bias)
+    if simulation is not None:
+        sim = simulation
+        participants = [p.pid for p in sim.processes if p.is_participant]
     else:
-        raise ValueError(f"unknown sifter {kind!r}; expected one of {SIFTER_KINDS}")
-    participants = choose_participants(n, k, pattern, seed)
-    sim = _build_simulation(
-        n, factory, participants, adversary, seed, None, record_events,
-        max_events, sink, profiler, delta_propagation, telemetry,
-        batch_messages,
-    )
+        factory = task_factory("sift", kind, bias=bias, use_lists=use_lists)
+        participants = choose_participants(n, k, pattern, seed)
+        sim = _build_simulation(
+            n, factory, participants, adversary, seed, None, record_events,
+            max_events, sink, profiler, delta_propagation, telemetry,
+            batch_messages,
+        )
     result = sim.run()
     survivors = check_sifting_phase(result) if check else sum(
         1 for d in result.decisions.values() if d.result is Outcome.SURVIVE
@@ -305,24 +371,28 @@ def run_renaming(
     delta_propagation: bool = True,
     telemetry=None,
     batch_messages: bool | None = None,
+    simulation: Simulation | None = None,
 ) -> RenamingRun:
     """Run one renaming execution to completion and check it."""
     if algorithm == "paper":
-        factory = make_get_name()
         spot_label = "rn.spot"
     elif algorithm == "linear":
-        factory = make_linear_renaming()
         spot_label = "lr.spot"
     else:
         raise ValueError(
             f"unknown algorithm {algorithm!r}; expected one of {RENAMING_ALGORITHMS}"
         )
-    participants = choose_participants(n, k, pattern, seed)
-    sim = _build_simulation(
-        n, factory, participants, adversary, seed, crash_schedule,
-        record_events, max_events, sink, profiler, delta_propagation,
-        telemetry, batch_messages,
-    )
+    if simulation is not None:
+        sim = simulation
+        participants = [p.pid for p in sim.processes if p.is_participant]
+    else:
+        factory = task_factory("rename", algorithm)
+        participants = choose_participants(n, k, pattern, seed)
+        sim = _build_simulation(
+            n, factory, participants, adversary, seed, crash_schedule,
+            record_events, max_events, sink, profiler, delta_propagation,
+            telemetry, batch_messages,
+        )
     result = sim.run(require_termination=check and not crash_schedule)
     names = check_renaming(result) if check else dict(result.outcomes)
     max_trials = max(

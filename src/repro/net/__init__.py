@@ -35,7 +35,15 @@ Entry points: ``python -m repro net --task elect --n 6 --seed 0`` and
 ``python -m repro serve --load --keys 1000``.
 """
 
-from .chaos import ChaosPlan, Partition, load_plan
+from .chaos import (
+    CHAOS_PROFILES,
+    ChaosPhase,
+    ChaosPlan,
+    Partition,
+    PhasedChaosPlan,
+    load_plan,
+    make_phased_plan,
+)
 from .client import KeyEvent, Lease, ServiceClient, ServiceClientError
 from .driver import NetRun, run_net
 from .load import LoadReport, run_load
@@ -43,9 +51,13 @@ from .service import ElectionService, ServiceError, ServiceRun
 from .wire import Frame, FrameDecoder, FrameType, WireError
 
 __all__ = [
+    "CHAOS_PROFILES",
+    "ChaosPhase",
     "ChaosPlan",
+    "PhasedChaosPlan",
     "Partition",
     "load_plan",
+    "make_phased_plan",
     "NetRun",
     "run_net",
     "Frame",

@@ -30,9 +30,9 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Callable
 
-from ..sim.rng import make_stream
+from ..sim.rng import derive_seed, make_stream
 
 
 @dataclass(frozen=True, slots=True)
@@ -223,14 +223,267 @@ def fates_for(
     return [link.next_fate(elapsed_ms) for _ in range(count)]
 
 
+# ---------------------------------------------------------------------------
+# Rolling (phased) chaos
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosPhase:
+    """One named segment of a rolling chaos schedule."""
+
+    name: str
+    duration_ms: float
+    plan: ChaosPlan
+
+    def __post_init__(self) -> None:
+        if self.duration_ms <= 0:
+            raise ValueError(
+                f"phase {self.name!r}: duration_ms must be > 0, "
+                f"got {self.duration_ms}"
+            )
+
+    def to_obj(self) -> dict[str, Any]:
+        """The JSON object form used inside a phased plan file."""
+        return {
+            "name": self.name,
+            "duration_ms": self.duration_ms,
+            "plan": self.plan.to_obj(),
+        }
+
+    @classmethod
+    def from_obj(cls, obj: dict[str, Any]) -> "ChaosPhase":
+        """Rebuild a phase from its :meth:`to_obj` form."""
+        return cls(
+            name=str(obj["name"]),
+            duration_ms=float(obj["duration_ms"]),
+            plan=ChaosPlan.from_obj(obj["plan"]),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class PhasedChaosPlan:
+    """A rolling schedule of :class:`ChaosPhase` segments.
+
+    The plan is duck-type compatible with :class:`ChaosPlan` where the
+    data plane cares — ``active`` and ``link()`` — so the socket backend
+    and the election service accept either.  ``plan_at(elapsed_ms)``
+    resolves which phase governs a moment; with ``cycle`` the schedule
+    wraps around, so a soak of any duration keeps rotating through
+    drop/delay/duplicate/partition/heal weather.
+
+    Phased fates are deterministic *given the frame order within each
+    phase*: each ``(phase, link)`` pair owns an independent RNG stream,
+    but which phase a frame lands in depends on wall-clock timing.  The
+    simulator keeps full determinism; the soak harness records the phase
+    schedule (seed + profile) so incidents replay under the same plan.
+    """
+
+    seed: int = 0
+    phases: tuple[ChaosPhase, ...] = ()
+    cycle: bool = True
+
+    @property
+    def total_ms(self) -> float:
+        """One full rotation of the schedule, in milliseconds."""
+        return sum(phase.duration_ms for phase in self.phases)
+
+    @property
+    def active(self) -> bool:
+        """True iff any phase injects any fault."""
+        return any(phase.plan.active for phase in self.phases)
+
+    def resolve(self, elapsed_ms: float) -> tuple[int, ChaosPhase, float] | None:
+        """``(index, phase, ms into the phase)`` governing ``elapsed_ms``.
+
+        ``None`` once a non-cycling schedule is exhausted (or if the
+        plan has no phases): the weather is clean from then on.
+        """
+        total = self.total_ms
+        if not self.phases or total <= 0:
+            return None
+        if elapsed_ms >= total:
+            if not self.cycle:
+                return None
+            elapsed_ms = elapsed_ms % total
+        at = 0.0
+        for index, phase in enumerate(self.phases):
+            if elapsed_ms < at + phase.duration_ms:
+                return index, phase, elapsed_ms - at
+            at += phase.duration_ms
+        return len(self.phases) - 1, self.phases[-1], elapsed_ms - (
+            total - self.phases[-1].duration_ms
+        )
+
+    def plan_at(self, elapsed_ms: float) -> ChaosPlan:
+        """The :class:`ChaosPlan` governing ``elapsed_ms`` (clean if none)."""
+        resolved = self.resolve(elapsed_ms)
+        return CLEAN_PLAN if resolved is None else resolved[1].plan
+
+    def link(self, src: int, dst: int) -> "PhasedLinkChaos":
+        """The phase-aware decision stream for frames from ``src`` to ``dst``."""
+        return PhasedLinkChaos(self, src, dst)
+
+    def to_obj(self) -> dict[str, Any]:
+        """The JSON object form of the phased plan."""
+        return {
+            "seed": self.seed,
+            "cycle": self.cycle,
+            "phases": [phase.to_obj() for phase in self.phases],
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON text of the phased plan (sorted keys)."""
+        return json.dumps(self.to_obj(), sort_keys=True, indent=2)
+
+    @classmethod
+    def from_obj(cls, obj: dict[str, Any]) -> "PhasedChaosPlan":
+        """Rebuild a phased plan from its :meth:`to_obj` form."""
+        unknown = set(obj) - {"seed", "cycle", "phases"}
+        if unknown:
+            raise ValueError(f"unknown phased plan keys: {sorted(unknown)}")
+        return cls(
+            seed=int(obj.get("seed", 0)),
+            cycle=bool(obj.get("cycle", True)),
+            phases=tuple(
+                ChaosPhase.from_obj(phase) for phase in obj.get("phases", ())
+            ),
+        )
+
+
+class PhasedLinkChaos:
+    """The fate stream of one directed link under a rolling schedule.
+
+    Each ``(phase index, link)`` pair owns an independent
+    :class:`LinkChaos` stream (created lazily, reused across cycles), so
+    fates within a phase stay a pure function of the phase plan's seed
+    and the frame order on the link.  Partitions inside a phase are
+    gated by time *into the phase*, so ``heal_ms`` shorter than the
+    phase duration heals mid-phase.
+    """
+
+    __slots__ = ("_plan", "src", "dst", "_links", "frames_seen")
+
+    def __init__(self, plan: PhasedChaosPlan, src: int, dst: int) -> None:
+        self._plan = plan
+        self.src = src
+        self.dst = dst
+        self._links: dict[int, LinkChaos] = {}
+        self.frames_seen = 0
+
+    def next_fate(self, elapsed_ms: float) -> FrameFate:
+        """Decide the next frame's fate under the phase at ``elapsed_ms``."""
+        self.frames_seen += 1
+        resolved = self._plan.resolve(elapsed_ms)
+        if resolved is None:
+            return CLEAN_FATE
+        index, phase, phase_elapsed = resolved
+        link = self._links.get(index)
+        if link is None:
+            link = self._links[index] = phase.plan.link(self.src, self.dst)
+        return link.next_fate(phase_elapsed)
+
+
+def _split(n: int) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """A quorum-preserving cut: (strict minority, rest of the cluster)."""
+    quorum = n // 2 + 1
+    majority = tuple(range(quorum))
+    minority = tuple(range(quorum, n))
+    return minority, majority
+
+
+def _profile_gentle(seed: int, n: int) -> PhasedChaosPlan:
+    """Light weather: mild loss and jitter with calm recovery windows."""
+    def plan(label: str, **kwargs: Any) -> ChaosPlan:
+        return ChaosPlan(seed=derive_seed(seed, f"chaos/{label}"), **kwargs)
+
+    return PhasedChaosPlan(seed=seed, phases=(
+        ChaosPhase("calm", 2000.0, plan("calm")),
+        ChaosPhase("drizzle", 4000.0, plan("drizzle", drop=0.05, delay=0.1)),
+        ChaosPhase("recover", 2000.0, plan("recover")),
+    ))
+
+
+def _profile_rolling(seed: int, n: int) -> PhasedChaosPlan:
+    """The full rotation: drop, delay, duplicate, partition, heal."""
+    def plan(label: str, **kwargs: Any) -> ChaosPlan:
+        return ChaosPlan(seed=derive_seed(seed, f"chaos/{label}"), **kwargs)
+
+    minority, majority = _split(n)
+    partitions = (
+        Partition(src=minority, dst=majority, heal_ms=2000.0),
+        Partition(src=majority, dst=minority, heal_ms=2000.0),
+    ) if minority else ()
+    return PhasedChaosPlan(seed=seed, phases=(
+        ChaosPhase("calm", 1500.0, plan("calm")),
+        ChaosPhase("drop", 2500.0, plan("drop", drop=0.15)),
+        ChaosPhase("delay", 2500.0, plan(
+            "delay", delay=0.4, delay_ms=(1.0, 40.0)
+        )),
+        ChaosPhase("dup", 2000.0, plan("dup", duplicate=0.1)),
+        # heal_ms < duration: the cut heals mid-phase, so every rotation
+        # exercises the heal boundary while frames are still in flight.
+        ChaosPhase("partition", 3000.0, plan(
+            "partition", drop=0.02, partitions=partitions
+        )),
+        ChaosPhase("heal", 1500.0, plan("heal")),
+    ))
+
+
+def _profile_partition_heavy(seed: int, n: int) -> PhasedChaosPlan:
+    """Long minority cuts with lossy recovery — the failover grinder."""
+    def plan(label: str, **kwargs: Any) -> ChaosPlan:
+        return ChaosPlan(seed=derive_seed(seed, f"chaos/{label}"), **kwargs)
+
+    minority, majority = _split(n)
+    partitions = (
+        Partition(src=minority, dst=majority, heal_ms=3500.0),
+        Partition(src=majority, dst=minority, heal_ms=3500.0),
+    ) if minority else ()
+    return PhasedChaosPlan(seed=seed, phases=(
+        ChaosPhase("cut", 4000.0, plan("cut", partitions=partitions)),
+        ChaosPhase("lossy-heal", 3000.0, plan(
+            "lossy-heal", drop=0.1, delay=0.2
+        )),
+        ChaosPhase("calm", 2000.0, plan("calm")),
+    ))
+
+
+#: Named chaos profiles: ``name -> builder(seed, n) -> PhasedChaosPlan``.
+#: Every builder is a pure function of ``(seed, n)``, so a profile name
+#: plus a seed fully determines the soak's fault weather.
+CHAOS_PROFILES: dict[str, Callable[[int, int], PhasedChaosPlan]] = {
+    "gentle": _profile_gentle,
+    "rolling": _profile_rolling,
+    "partition-heavy": _profile_partition_heavy,
+}
+
+
+def make_phased_plan(profile: str, seed: int, n: int) -> PhasedChaosPlan:
+    """Build a registered chaos profile for an ``n``-node cluster."""
+    try:
+        builder = CHAOS_PROFILES[profile]
+    except KeyError:
+        raise ValueError(
+            f"unknown chaos profile {profile!r}; "
+            f"known: {sorted(CHAOS_PROFILES)}"
+        ) from None
+    return builder(seed, n)
+
+
 # Re-exported for plan-construction convenience in tests and tooling.
 __all__ = [
     "ChaosPlan",
+    "ChaosPhase",
+    "PhasedChaosPlan",
+    "PhasedLinkChaos",
     "Partition",
     "FrameFate",
     "LinkChaos",
     "CLEAN_PLAN",
     "CLEAN_FATE",
+    "CHAOS_PROFILES",
     "load_plan",
+    "make_phased_plan",
     "fates_for",
 ]

@@ -306,7 +306,10 @@ async def _orchestrate(
 
     plane = _ControlPlane(n, participants, snapshot_writer=snapshot_writer)
 
+    handler_tasks: set[asyncio.Task] = set()
+
     async def handle_node(reader, writer) -> None:
+        handler_tasks.add(asyncio.current_task())
         pid = None
         try:
             while True:
@@ -420,6 +423,16 @@ async def _orchestrate(
             if child.is_alive():
                 child.terminate()
                 child.join(timeout=2.0)
+        # Close the control connections so every handler task ends on its
+        # own (EOF) before the loop shuts down: a handler still parked in
+        # read_frame at teardown would be *cancelled*, and the 3.11
+        # streams done-callback logs that cancellation as a spurious
+        # "Exception in callback" traceback.
+        for writer in plane.writers.values():
+            writer.close()
+        live = [task for task in handler_tasks if not task.done()]
+        if live:
+            await asyncio.wait(live, timeout=1.0)
     return plane
 
 

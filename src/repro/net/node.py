@@ -532,7 +532,11 @@ class NodeRuntime:
             except StopIteration as stop:
                 decide_ns = time.monotonic_ns()
                 self.process.result = stop.value
-                self._emit(EventType.PROC_DECIDE, {"result": repr(stop.value)})
+                # The raw value, not its repr: the sink's ``json_safe``
+                # maps Outcome enums to "win"/"lose" exactly as the sim
+                # backend does, so net traces stay auditable by the same
+                # streaming checker.
+                self._emit(EventType.PROC_DECIDE, {"result": stop.value})
                 return stop.value, start_ns, decide_ns
             if not isinstance(request, (Propagate, Collect)):
                 raise WireError(

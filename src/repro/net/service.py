@@ -55,8 +55,9 @@ from __future__ import annotations
 import asyncio
 import heapq
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any, Callable, Mapping
 
 from ..obs.live import SnapshotWriter
 from ..obs.metrics import MetricsRegistry
@@ -103,6 +104,11 @@ class WatchEvent:
 
 #: How many replies each session's at-most-once cache retains.
 REPLY_CACHE_LIMIT = 1024
+
+#: How many chaos-dropped frames the dead-letter queue retains for
+#: post-heal replay; older drops fall off the front (the client-side
+#: retry path still recovers them via the at-most-once reply cache).
+DLQ_LIMIT = 4096
 
 #: Default lease TTL when the client does not specify one (milliseconds).
 DEFAULT_TTL_MS = 5000.0
@@ -230,6 +236,8 @@ class ElectionService:
         telemetry_interval_s: float = 0.5,
         host: str = "127.0.0.1",
         port: int = 0,
+        namespace: Mapping[str, int] | None = None,
+        grant_hook: "Callable[[GrantRecord], None] | None" = None,
     ) -> None:
         if default_ttl_ms <= 0:
             raise ServiceError(f"default ttl must be positive, got {default_ttl_ms}")
@@ -249,8 +257,21 @@ class ElectionService:
         self.host = host
         self.port = port
         self.keys: dict[str, _KeyState] = {}
+        if namespace:
+            # Restart-and-recover: re-seed keys at their last known epoch
+            # (all FREE — leases do not survive a restart) so post-restart
+            # grants keep fencing tokens issued before it.
+            for key, epoch in namespace.items():
+                if epoch < 0:
+                    raise ServiceError(
+                        f"namespace epoch for {key!r} must be >= 0, got {epoch}"
+                    )
+                self.keys[str(key)] = _KeyState(key=str(key), epoch=int(epoch))
         self.history: list[GrantRecord] = []
         self.fenced: list[FencedRecord] = []
+        self.grant_hook = grant_hook
+        #: Chaos-dropped frames awaiting post-heal replay: (sid, frame).
+        self.dlq: deque[tuple[int, Frame]] = deque(maxlen=DLQ_LIMIT)
         self.metrics = MetricsRegistry()
         self._sessions: dict[int, _Session] = {}
         self._session_counter = 0
@@ -437,6 +458,7 @@ class ElectionService:
         fate = session.link.next_fate(self._clock_ms())
         if fate.drop:
             self.metrics.counter("svc.frames_dropped").inc()
+            self.dlq.append((session.sid, frame))
             return
         if fate.delay_s > 0.0:
             self.metrics.counter("svc.frames_delayed").inc()
@@ -461,6 +483,38 @@ class ElectionService:
             return
         session.writer.write(pack_frame(frame))
         self.metrics.counter("svc.frames_sent").inc()
+
+    def replay_dlq(self) -> int:
+        """Re-deliver chaos-dropped frames to their still-open sessions.
+
+        The dead-letter replay path for a healed partition: frames the
+        fault plan swallowed are written directly (no second chaos
+        draw — they already paid theirs).  Receivers are idempotent by
+        construction: replies carry their original ``rpc`` nonce and
+        watch events are monotone state announcements.  Frames whose
+        session has since closed are discarded.  Returns the number of
+        frames actually re-sent.
+        """
+        replayed = 0
+        while self.dlq:
+            sid, frame = self.dlq.popleft()
+            session = self._sessions.get(sid)
+            if session is None or session.closed:
+                continue
+            self._write(session, frame)
+            replayed += 1
+        if replayed:
+            self.metrics.counter("svc.dlq_replayed").inc(replayed)
+        return replayed
+
+    def export_namespace(self) -> dict[str, int]:
+        """The namespace's fencing floor: every key's current epoch.
+
+        Feed this to a new service's ``namespace`` parameter to restart
+        it without forgetting epochs — grants after the restart continue
+        each key's sequence, so tokens issued before it stay fenced.
+        """
+        return {key: state.epoch for key, state in self.keys.items()}
 
     # ------------------------------------------------------------------
     # Request handlers
@@ -610,11 +664,14 @@ class ElectionService:
         state.holder_session = session
         state.ttl_s = ttl_ms / 1000.0
         state.expires_at = now + state.ttl_s
-        self.history.append(GrantRecord(
+        record = GrantRecord(
             key=state.key, epoch=state.epoch, holder=client,
             session=session.sid, granted_ns=time.monotonic_ns(),
-        ))
+        )
+        self.history.append(record)
         self.metrics.counter("svc.grants").inc()
+        if self.grant_hook is not None:
+            self.grant_hook(record)
         if state.vacated_at is not None:
             failover_ms = (now - state.vacated_at) * 1000.0
             self.metrics.histogram("svc.failover_ms").observe(failover_ms)

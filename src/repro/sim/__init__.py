@@ -10,6 +10,7 @@ from . import pidset
 from .communicate import Collect, PendingCall, Propagate, Request
 from .errors import (
     AdversaryProtocolError,
+    CheckpointError,
     CrashBudgetError,
     ProcessProtocolError,
     QuiescenceError,
@@ -29,11 +30,16 @@ from .runtime import (
     SimulationResult,
     Step,
 )
+from .snapshot import SimulationCheckpoint, capture, enable_recording
 from .trace import Metrics, Trace, TraceEvent
 
 __all__ = [
     "Action",
     "AdversaryProtocolError",
+    "CheckpointError",
+    "SimulationCheckpoint",
+    "capture",
+    "enable_recording",
     "AlgorithmFactory",
     "Broadcast",
     "CoinLog",

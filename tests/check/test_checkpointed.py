@@ -1,0 +1,102 @@
+"""Checkpointed exploration tests: identical verdicts, fewer ticks.
+
+The contract under test is the one ``--checkpoint-every`` sells: forking
+shrink candidates and systematic-tree trials from mid-schedule snapshots
+changes *nothing* about what is found — verdicts, shrunk schedules,
+artifacts, and trial stats are byte-identical to the uncheckpointed
+paths — while the number of re-executed simulation ticks drops.
+"""
+
+from __future__ import annotations
+
+from repro.check.explore import (
+    TrialSpec,
+    capture_run,
+    explore,
+    run_trial,
+    run_trial_checkpointed,
+    schedule_of,
+)
+from repro.check.invariants import INVARIANTS, PROTOCOLS, invariants_for
+from repro.check.shrink import replay_artifact, shrink_schedule
+from repro.sim.rng import derive_seed
+
+
+def _seeded_schedule():
+    """The committed negative control: naive sifter under coin_aware."""
+    spec = PROTOCOLS["naive_sifter"]
+    trial = TrialSpec(index=0, mode="random", adversary="coin_aware", seed=0)
+    _, events = capture_run(spec, trial, 8, None)
+    return spec, trial, schedule_of(events)
+
+
+class TestCheckpointedShrink:
+    def test_same_result_fewer_ticks(self):
+        spec, trial, schedule = _seeded_schedule()
+        witness = INVARIANTS["sifting_effective"].witness
+        plain = shrink_schedule(
+            spec, schedule, witness, 8, None, trial.seed
+        )
+        checkpointed = shrink_schedule(
+            spec, schedule, witness, 8, None, trial.seed,
+            checkpoint_every=16,
+        )
+        # Forks are byte-identical, so the search must take the exact
+        # same path: same candidate count, same minimized schedule.
+        assert checkpointed.evaluations == plain.evaluations
+        assert checkpointed.schedule == plain.schedule
+        assert checkpointed.shrunk_len == plain.shrunk_len
+        # ...while skipping shared prefixes instead of re-executing them.
+        assert checkpointed.ticks_replayed < plain.ticks_replayed
+
+    def test_explore_threads_checkpointing_to_artifacts(self, tmp_path):
+        report = explore(
+            "naive_sifter", n=8, budget=6, seed=0,
+            adversaries=("coin_aware",), modes=("random",),
+            shrink=True, out_dir=str(tmp_path), checkpoint_every=16,
+        )
+        assert not report.ok
+        record = report.violations[0]
+        assert record.ticks_replayed is not None
+        assert record.ticks_replayed > 0
+        assert "ticks re-executed" in record.describe()
+        # The artifact context is an uncheckpointed re-execution, so it
+        # must replay byte-identically regardless of checkpointing.
+        replay = replay_artifact(record.artifact_path)
+        assert replay.ok, replay.describe()
+
+
+class TestCheckpointedSystematicTree:
+    def test_tree_trials_match_uncheckpointed(self):
+        spec = PROTOCOLS["poison_pill"]
+        tree_seed = derive_seed(0, "check/systematic/tree")
+        prefixes = [(), (0,), (1,), (0, 0), (0, 1), (1, 0), (1, 1), (0, 0, 1)]
+        trials = [
+            TrialSpec(
+                index=i, mode="systematic", adversary="systematic",
+                seed=tree_seed, choices=choices,
+            )
+            for i, choices in enumerate(prefixes)
+        ]
+        invariants = [
+            inv for inv in invariants_for(spec.task, None)
+            if inv.scope == "run"
+        ]
+        store = {}
+        for trial in trials:
+            base = run_trial(spec, trial, 8, None, invariants)
+            forked = run_trial_checkpointed(
+                spec, trial, 8, None, invariants, "first", store
+            )
+            assert forked.stats == base.stats, trial.describe()
+            assert forked.violations == base.violations
+        # Shallow prefixes seeded the store for their descendants.
+        assert () in store and (0,) in store
+
+    def test_explore_systematic_mode_end_to_end(self):
+        report = explore(
+            "poison_pill", n=8, budget=12, seed=1,
+            modes=("systematic",), shrink=False, checkpoint_every=8,
+        )
+        assert len(report.outcomes) == 12
+        assert report.ok, report.describe()

@@ -1,0 +1,114 @@
+"""Tests for ``audit_trace``: streaming a JSONL trace through the checker.
+
+The soak harness feeds episode traces through this path while the
+writer may have died mid-line, so the malformed-stream cases must fail
+with a clean one-line :class:`StreamError`, never a traceback from the
+JSON machinery.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.check.streaming import StreamError, StreamingViolation, audit_trace
+from repro.obs.events import Event, EventType
+from repro.obs.jsonl import event_line
+
+
+def write_trace(path, events, meta=None, tail=""):
+    """Write a JSONL trace: optional meta line, events, raw ``tail`` text."""
+    lines = []
+    if meta is not None:
+        lines.append(json.dumps({"meta": meta}))
+    lines.extend(event_line(event) for event in events)
+    with open(path, "w", encoding="utf-8") as fp:
+        fp.write("\n".join(lines))
+        if lines:
+            fp.write("\n")
+        fp.write(tail)
+    return str(path)
+
+
+def decide(time, pid, result):
+    """One proc.decide event."""
+    return Event(time, EventType.PROC_DECIDE, pid, {"result": result})
+
+
+class TestCleanStreams:
+    def test_clean_election_trace_passes(self, tmp_path):
+        path = write_trace(tmp_path / "ok.jsonl", [
+            decide(1, 0, "win"), decide(2, 1, "lose"),
+        ], meta={"task": "elect"})
+        checker = audit_trace(path, "elect")
+        assert checker.events_checked == 2
+
+    def test_violation_carries_the_event_index(self, tmp_path):
+        path = write_trace(tmp_path / "bad.jsonl", [
+            decide(1, 0, "win"), decide(2, 1, "win"),
+        ], meta={"task": "elect"})
+        with pytest.raises(StreamingViolation) as info:
+            audit_trace(path, "elect")
+        assert info.value.invariant == "unique_winner"
+        assert info.value.event_index == 1
+
+
+class TestMalformedStreams:
+    def assert_one_liner(self, error):
+        """The error message must be a single line naming the stream."""
+        message = str(error)
+        assert "\n" not in message
+        assert "Traceback" not in message
+
+    def test_truncated_last_line_is_clean_stream_error(self, tmp_path):
+        # The writer died mid-write: the last line is half a JSON object.
+        path = write_trace(
+            tmp_path / "cut.jsonl",
+            [decide(1, 0, "win")],
+            meta={"task": "elect"},
+            tail='{"t": 2, "e": "proc.decide", "p": 1, "f": {"res',
+        )
+        with pytest.raises(StreamError) as info:
+            audit_trace(path, "elect")
+        self.assert_one_liner(info.value)
+        assert "line 3" in str(info.value)
+        assert "truncated or interleaved" in str(info.value)
+
+    def test_interleaved_writers_are_clean_stream_error(self, tmp_path):
+        # Two writers raced on the same file: a line is two objects
+        # spliced together.
+        good = event_line(decide(1, 0, "win"))
+        path = tmp_path / "race.jsonl"
+        with open(path, "w", encoding="utf-8") as fp:
+            fp.write(good + "\n")
+            fp.write(good[: len(good) // 2] + good + "\n")
+        with pytest.raises(StreamError) as info:
+            audit_trace(str(path), "elect")
+        self.assert_one_liner(info.value)
+        assert "line 2" in str(info.value)
+
+    def test_non_object_line_rejected(self, tmp_path):
+        path = tmp_path / "list.jsonl"
+        path.write_text('[1, 2, 3]\n', encoding="utf-8")
+        with pytest.raises(StreamError) as info:
+            audit_trace(str(path), "elect")
+        self.assert_one_liner(info.value)
+
+    def test_missing_event_keys_named(self, tmp_path):
+        path = tmp_path / "keys.jsonl"
+        path.write_text('{"t": 1, "e": "proc.decide"}\n', encoding="utf-8")
+        with pytest.raises(StreamError) as info:
+            audit_trace(str(path), "elect")
+        self.assert_one_liner(info.value)
+        assert "'f'" in str(info.value) and "'p'" in str(info.value)
+
+    def test_fail_fast_off_collects_instead_of_raising(self, tmp_path):
+        path = write_trace(tmp_path / "soft.jsonl", [
+            decide(1, 0, "win"), decide(2, 1, "win"),
+        ], meta={"task": "elect"})
+        checker = audit_trace(path, "elect", fail_fast=False)
+        assert any(
+            violation.invariant == "unique_winner"
+            for violation in checker.violations
+        )

@@ -187,6 +187,29 @@ class TestObservabilityVerbs:
         out = capsys.readouterr().out
         assert "snapshot #" in out
 
+    def test_watch_no_follow_missing_end_marker_names_file_and_seq(
+        self, capsys, tmp_path
+    ):
+        # Satellite regression: a stream whose writer was interrupted has
+        # no end marker; --no-follow must exit 1 and say which file and
+        # the last seq it saw, not silently return 0.
+        _, stream = self._record(tmp_path, snapshots=True)
+        lines = [
+            line for line in open(stream, encoding="utf-8").read().splitlines()
+            if '"end"' not in line
+        ]
+        headless = str(tmp_path / "interrupted.jsonl")
+        with open(headless, "w", encoding="utf-8") as fp:
+            fp.write("\n".join(lines) + "\n")
+        capsys.readouterr()
+        assert main(["watch", headless, "--no-follow"]) == 1
+        out = capsys.readouterr().out
+        assert "snapshot #" in out  # the last snapshot still renders
+        assert "error:" in out
+        assert headless in out
+        assert "seq=" in out
+        assert "no end marker" in out
+
     def test_watch_follow_terminates_on_end_marker(self, capsys, tmp_path):
         _, stream = self._record(tmp_path, snapshots=True)
         capsys.readouterr()
@@ -215,6 +238,58 @@ class TestObservabilityVerbs:
             fp.write(text[: int(len(text) * 0.6)])
         capsys.readouterr()
         assert main(["watch", truncated, "--no-follow"]) == 2
+        out = capsys.readouterr().out
+        assert out.startswith("error:")
+        assert "Traceback" not in out
+
+
+class TestSoakCommand:
+    def test_soak_parser_defaults(self):
+        args = build_parser().parse_args(["soak"])
+        assert args.duration == 60.0
+        assert args.profile == "rolling"
+        assert args.kill_every == 6
+        assert args.restart_service_at == 0.5
+        assert args.replay is None
+        assert args.inject_violation is None
+
+    def test_soak_list_profiles(self, capsys):
+        assert main(["soak", "--list-profiles"]) == 0
+        out = capsys.readouterr().out
+        assert "rolling" in out and "gentle" in out
+
+    def test_soak_unknown_profile_is_clean_error(self, capsys):
+        assert main(["soak", "--duration", "1", "--profile", "nope"]) == 2
+        out = capsys.readouterr().out
+        assert out.startswith("error:")
+        assert "rolling" in out  # names the known profiles
+
+    def test_soak_clean_run_exits_0(self, capsys, tmp_path):
+        assert main([
+            "soak", "--duration", "1", "--profile", "gentle",
+            "--keys", "1", "--contenders", "2", "--ttl", "250",
+            "--hold-ms", "5", "--out-dir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "invariants:    all hold" in out
+
+    def test_soak_negative_control_exits_1_and_replays(self, capsys, tmp_path):
+        assert main([
+            "soak", "--duration", "15", "--profile", "gentle",
+            "--keys", "1", "--contenders", "2", "--ttl", "250",
+            "--hold-ms", "5", "--restart-service-at", "-1",
+            "--inject-violation", "0.3", "--out-dir", str(tmp_path),
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "VIOLATION:" in out and "[injected]" in out
+        assert "incident:" in out
+        incident = next(tmp_path.glob("soak-incident-*.json"))
+        assert main(["soak", "--replay", str(incident)]) == 0
+        out = capsys.readouterr().out
+        assert "replay:        ok" in out
+
+    def test_soak_replay_missing_file_is_clean_error(self, capsys):
+        assert main(["soak", "--replay", "/nonexistent/incident.json"]) == 2
         out = capsys.readouterr().out
         assert out.startswith("error:")
         assert "Traceback" not in out

@@ -1,0 +1,176 @@
+"""Tests for rolling (phased) chaos plans and the profile registry.
+
+The phase-boundary cases the soak harness leans on are pinned here:
+``heal_ms`` expiring mid-phase while frames are still being delivered,
+and a partition healing while a client is mid-retry-backoff against the
+service.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.net.chaos import (
+    CHAOS_PROFILES,
+    CLEAN_FATE,
+    ChaosPhase,
+    ChaosPlan,
+    Partition,
+    PhasedChaosPlan,
+    make_phased_plan,
+)
+from repro.net.client import ServiceClient
+from repro.net.service import SERVICE_PID, ElectionService
+
+
+def two_phase_plan(cycle=True):
+    """calm 100ms, then a 200ms lossy phase (deterministic, seed 7)."""
+    return PhasedChaosPlan(seed=7, cycle=cycle, phases=(
+        ChaosPhase("calm", 100.0, ChaosPlan(seed=1)),
+        ChaosPhase("lossy", 200.0, ChaosPlan(seed=2, drop=0.5)),
+    ))
+
+
+class TestPhaseResolution:
+    def test_resolve_walks_phases_and_reports_offset(self):
+        plan = two_phase_plan()
+        index, phase, into = plan.resolve(0.0)
+        assert (index, phase.name, into) == (0, "calm", 0.0)
+        index, phase, into = plan.resolve(150.0)
+        assert (index, phase.name, into) == (1, "lossy", 50.0)
+
+    def test_exact_boundary_belongs_to_the_next_phase(self):
+        plan = two_phase_plan()
+        index, phase, into = plan.resolve(100.0)
+        assert (index, phase.name, into) == (1, "lossy", 0.0)
+
+    def test_cycling_wraps_modulo_total(self):
+        plan = two_phase_plan()
+        index, phase, into = plan.resolve(300.0 + 120.0)
+        assert (index, phase.name, into) == (1, "lossy", 20.0)
+
+    def test_non_cycling_schedule_exhausts_to_clean(self):
+        plan = two_phase_plan(cycle=False)
+        assert plan.resolve(300.0) is None
+        assert plan.plan_at(300.0) is not None
+        assert not plan.plan_at(300.0).active
+
+    def test_empty_plan_resolves_to_none(self):
+        plan = PhasedChaosPlan(seed=0, phases=())
+        assert plan.resolve(0.0) is None
+        assert not plan.active
+
+    def test_phase_duration_must_be_positive(self):
+        with pytest.raises(ValueError, match="duration_ms"):
+            ChaosPhase("bad", 0.0, ChaosPlan())
+
+    def test_serialization_round_trip(self):
+        plan = make_phased_plan("rolling", seed=3, n=5)
+        rebuilt = PhasedChaosPlan.from_obj(plan.to_obj())
+        assert rebuilt == plan
+        assert rebuilt.to_obj() == plan.to_obj()
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown phased plan keys"):
+            PhasedChaosPlan.from_obj({"seed": 0, "phasez": []})
+
+
+class TestProfileRegistry:
+    def test_profiles_are_pure_functions_of_seed_and_n(self):
+        for name in CHAOS_PROFILES:
+            a = make_phased_plan(name, seed=11, n=7)
+            b = make_phased_plan(name, seed=11, n=7)
+            assert a.to_obj() == b.to_obj(), name
+            assert a.phases, name
+
+    def test_different_seeds_differ(self):
+        a = make_phased_plan("rolling", seed=0, n=5)
+        b = make_phased_plan("rolling", seed=1, n=5)
+        assert a.to_obj() != b.to_obj()
+
+    def test_unknown_profile_names_the_known_ones(self):
+        with pytest.raises(ValueError, match="gentle"):
+            make_phased_plan("hurricane", seed=0, n=5)
+
+    def test_rolling_partition_heals_mid_phase(self):
+        # The rolling profile's design invariant: the cut's heal_ms is
+        # strictly inside the partition phase, so every rotation crosses
+        # the heal boundary with traffic in flight.
+        plan = make_phased_plan("rolling", seed=0, n=5)
+        partition_phase = next(
+            phase for phase in plan.phases if phase.name == "partition"
+        )
+        assert partition_phase.plan.partitions
+        for partition in partition_phase.plan.partitions:
+            assert partition.heal_ms is not None
+            assert partition.heal_ms < partition_phase.duration_ms
+
+
+class TestHealMidDelivery:
+    def partition_plan(self, heal_ms):
+        """One 1000ms phase: a pure src->dst cut, no other faults."""
+        return PhasedChaosPlan(seed=0, phases=(
+            ChaosPhase("cut", 1000.0, ChaosPlan(seed=5, partitions=(
+                Partition(src=(0,), dst=(1,), heal_ms=heal_ms),
+            ))),
+        ))
+
+    def test_heal_ms_expires_mid_phase_while_frames_flow(self):
+        # Frames delivered continuously across the heal boundary: every
+        # fate before heal_ms is a drop, every fate at/after it is clean.
+        plan = self.partition_plan(heal_ms=400.0)
+        link = plan.link(0, 1)
+        before = [link.next_fate(ms) for ms in (0.0, 100.0, 399.9)]
+        after = [link.next_fate(ms) for ms in (400.0, 500.0, 999.0)]
+        assert all(fate.drop for fate in before)
+        assert all(fate is CLEAN_FATE for fate in after)
+
+    def test_heal_is_gated_by_time_into_the_phase_not_the_soak(self):
+        # Second rotation of the cycle: the same cut is back and heals
+        # at the same offset into the phase, not at absolute soak time.
+        plan = self.partition_plan(heal_ms=400.0)
+        link = plan.link(0, 1)
+        assert link.next_fate(1000.0 + 100.0).drop       # re-cut
+        assert link.next_fate(1000.0 + 450.0) is CLEAN_FATE  # re-healed
+
+    def test_unrelated_links_never_blocked(self):
+        plan = self.partition_plan(heal_ms=400.0)
+        link = plan.link(1, 0)  # the reverse direction is not cut
+        assert link.next_fate(100.0) is CLEAN_FATE
+
+
+class TestHealDuringRetryBackoff:
+    def test_acquire_retries_through_a_healing_partition(self):
+        # The service's replies to this client are cut for 300ms; the
+        # client's RPC layer must keep retrying through the backoff and
+        # land the acquire once the partition heals mid-exchange.
+        heal_ms = 300.0
+        plan = ChaosPlan(seed=0, partitions=(
+            Partition(src=(SERVICE_PID,), dst=(9,), heal_ms=heal_ms),
+        ))
+
+        async def main():
+            service = ElectionService(seed=0, plan=plan, default_ttl_ms=5000.0)
+            host, port = await service.start()
+            try:
+                client = await ServiceClient.connect(
+                    host, port, client_id="blocked", pid=9
+                )
+                start = time.perf_counter()
+                lease = await asyncio.wait_for(
+                    client.acquire("k", ttl_ms=5000.0), 30.0
+                )
+                elapsed_ms = (time.perf_counter() - start) * 1e3
+                await client.close()
+                return lease, elapsed_ms, service.metrics.snapshot()
+            finally:
+                await service.stop()
+
+        lease, elapsed_ms, snapshot = asyncio.run(main())
+        assert lease is not None and lease.epoch == 1
+        # The grant could not have landed before the cut healed.
+        assert elapsed_ms >= heal_ms * 0.9
+        assert snapshot["counters"].get("svc.frames_dropped", 0) >= 1
